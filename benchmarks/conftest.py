@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every module in this directory regenerates one table or figure of the paper
+(see DESIGN.md section 4 for the index).  The benchmarks print the measured
+rows/series in the same layout as the paper so the comparison recorded in
+EXPERIMENTS.md can be read side by side, and they use ``benchmark.pedantic``
+with a single round because each measurement is itself a complete synthesis
+run (the quantity of interest is the synthesis *result*, not wall-clock
+jitter).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    # Benchmarks print their reproduced tables; keep output visible.
+    config.option.capture = "no"
+
+
+@pytest.fixture
+def print_report():
+    """Print a report block surrounded by blank lines so it is easy to find."""
+
+    def _print(text: str) -> None:
+        print()
+        print(text)
+        print()
+
+    return _print

@@ -1,0 +1,73 @@
+"""Figure 10: SRAG versus CntAG area for array sizes 16x16 .. 256x256.
+
+Expected shape: the SRAG is roughly three times larger than the CntAG, with
+both growing with the array size (the SRAG because it carries one flip-flop
+per select line, the CntAG because its decoders widen).
+"""
+
+import pytest
+
+from repro.analysis.reporting import format_figure
+from repro.analysis.tradeoff import compare_generators
+from repro.workloads import motion_estimation
+
+SIZES = [16, 32, 64, 128, 256]
+
+
+def _sweep():
+    read_records = []
+    write_records = []
+    for size in SIZES:
+        read_records.append(
+            compare_generators(
+                f"motion_est_read_{size}",
+                motion_estimation.new_img_read_pattern(size, size, 2, 2),
+            )
+        )
+        write_records.append(
+            compare_generators(
+                f"motion_est_write_{size}",
+                motion_estimation.new_img_write_pattern(size, size),
+            )
+        )
+    return read_records, write_records
+
+
+@pytest.fixture(scope="module")
+def sweep_records():
+    return _sweep()
+
+
+def test_fig10_area_vs_array_size(benchmark, print_report, sweep_records):
+    read_records, write_records = benchmark.pedantic(
+        lambda: sweep_records, rounds=1, iterations=1
+    )
+    labels = [f"{s}x{s}" for s in SIZES]
+    print_report(
+        format_figure(
+            "Figure 10 -- address generator area vs array size",
+            "array",
+            labels,
+            {
+                "SRAG(Write)/cells": [r.srag.area_cells for r in write_records],
+                "CntAG(Write)/cells": [r.cntag.area_cells for r in write_records],
+                "SRAG(Read)/cells": [r.srag.area_cells for r in read_records],
+                "CntAG(Read)/cells": [r.cntag.area_cells for r in read_records],
+            },
+            y_label="area/(cell units)",
+            expectation="SRAG roughly 3x larger than CntAG; both grow with array size",
+        )
+    )
+
+    for records in (read_records, write_records):
+        for record in records:
+            assert record.area_increase_factor > 1.0
+        # At the largest array the SRAG carries a substantial area penalty
+        # (the paper reports about 3x).
+        assert records[-1].area_increase_factor > 2.0
+        # Both architectures grow with the array size.
+        assert records[-1].srag.area_cells > records[0].srag.area_cells
+        assert records[-1].cntag.area_cells > records[0].cntag.area_cells
+    # The SRAG's area at 256x256 is dominated by its select-line flip-flops
+    # (one per row plus one per column), matching the paper's ~3e4 cell units.
+    assert read_records[-1].srag.flip_flops >= 512

@@ -1,0 +1,73 @@
+"""Figure 8: SRAG versus CntAG delay for array sizes 16x16 .. 256x256.
+
+Both the read sequence (block access of the motion-estimation kernel) and the
+write sequence (incremental) of ``new_img`` are implemented with the SRAG and
+with the counter-based generator; the CntAG delay follows the paper's
+methodology (counter component plus worst decoder component).  Expected
+shape: the SRAG is roughly twice as fast on average, its delay nearly flat
+with array size, while the CntAG delay grows as the decoders widen.
+"""
+
+import pytest
+
+from repro.analysis.reporting import format_figure
+from repro.analysis.tradeoff import compare_generators
+from repro.workloads import motion_estimation
+
+SIZES = [16, 32, 64, 128, 256]
+
+
+def _sweep():
+    read_records = []
+    write_records = []
+    for size in SIZES:
+        read_records.append(
+            compare_generators(
+                f"motion_est_read_{size}",
+                motion_estimation.new_img_read_pattern(size, size, 2, 2),
+            )
+        )
+        write_records.append(
+            compare_generators(
+                f"motion_est_write_{size}",
+                motion_estimation.new_img_write_pattern(size, size),
+            )
+        )
+    return read_records, write_records
+
+
+@pytest.fixture(scope="module")
+def sweep_records():
+    return _sweep()
+
+
+def test_fig8_delay_vs_array_size(benchmark, print_report, sweep_records):
+    read_records, write_records = benchmark.pedantic(
+        lambda: sweep_records, rounds=1, iterations=1
+    )
+    labels = [f"{s}x{s}" for s in SIZES]
+    print_report(
+        format_figure(
+            "Figure 8 -- address generator delay vs array size",
+            "array",
+            labels,
+            {
+                "SRAG(Write)/ns": [r.srag.delay_ns for r in write_records],
+                "CntAG(Write)/ns": [r.cntag.delay_ns for r in write_records],
+                "SRAG(Read)/ns": [r.srag.delay_ns for r in read_records],
+                "CntAG(Read)/ns": [r.cntag.delay_ns for r in read_records],
+            },
+            y_label="delay/ns",
+            expectation="SRAG ~2x faster on average; SRAG nearly flat, CntAG grows with array size",
+        )
+    )
+
+    for records in (read_records, write_records):
+        # The SRAG wins at every size.
+        for record in records:
+            assert record.delay_reduction_factor > 1.0
+        # SRAG delay grows slowly; CntAG grows faster in absolute terms.
+        srag_growth = records[-1].srag.delay_ns - records[0].srag.delay_ns
+        cntag_growth = records[-1].cntag.delay_ns - records[0].cntag.delay_ns
+        assert cntag_growth > srag_growth
+        assert records[-1].srag.delay_ns < 1.8 * records[0].srag.delay_ns

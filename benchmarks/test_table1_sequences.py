@@ -1,0 +1,31 @@
+"""Table 1: LinAS / RowAS / ColAS of ``new_img`` (4x4 image, 2x2 macroblock, m=0)."""
+
+from repro.analysis.reporting import format_table
+from repro.workloads import motion_estimation
+
+PAPER_LINAS = [0, 1, 4, 5, 2, 3, 6, 7, 8, 9, 12, 13, 10, 11, 14, 15]
+PAPER_ROWAS = [0, 0, 1, 1, 0, 0, 1, 1, 2, 2, 3, 3, 2, 2, 3, 3]
+PAPER_COLAS = [0, 1, 0, 1, 2, 3, 2, 3, 0, 1, 0, 1, 2, 3, 2, 3]
+
+
+def test_table1_address_sequences(benchmark, print_report):
+    """Regenerate Table 1 and check it matches the paper exactly."""
+
+    def build():
+        return motion_estimation.read_sequence(4, 4, 2, 2)
+
+    sequence = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    rows = [
+        ["LinAS", ";".join(map(str, sequence.linear))],
+        ["RowAS", ";".join(map(str, sequence.row_sequence))],
+        ["ColAS", ";".join(map(str, sequence.col_sequence))],
+    ]
+    print_report(
+        format_table(["Name", "Address Sequence"], rows,
+                     title="Table 1 -- address sequences for new_img (4x4, 2x2 macroblock)")
+    )
+
+    assert sequence.linear == PAPER_LINAS
+    assert sequence.row_sequence == PAPER_ROWAS
+    assert sequence.col_sequence == PAPER_COLAS

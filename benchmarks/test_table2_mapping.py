@@ -1,0 +1,44 @@
+"""Table 2: SRAdGen mapping parameters for the row address sequence of Table 1."""
+
+from repro.analysis.reporting import format_table
+from repro.core.mapper import map_sequence
+from repro.workloads import motion_estimation
+
+PAPER_TABLE2 = {
+    "I": [0, 0, 1, 1, 0, 0, 1, 1, 2, 2, 3, 3, 2, 2, 3, 3],
+    "D": [2, 2, 2, 2, 2, 2, 2, 2],
+    "R": [0, 1, 0, 1, 2, 3, 2, 3],
+    "U": [0, 1, 2, 3],
+    "O": [2, 2, 2, 2],
+    "Z": [0, 1, 4, 5],
+    "S": [(0, 1), (2, 3)],
+    "P": [4, 4],
+    "dC": 2,
+    "pC": 4,
+}
+
+
+def test_table2_mapping_parameters(benchmark, print_report):
+    """Regenerate Table 2 and check every parameter matches the paper."""
+    sequence = motion_estimation.read_sequence(4, 4, 2, 2)
+
+    mapping = benchmark.pedantic(
+        lambda: map_sequence(sequence.row_sequence, num_lines=sequence.rows),
+        rounds=1,
+        iterations=1,
+    )
+    measured = mapping.as_table()
+
+    rows = []
+    for key in ("I", "D", "R", "U", "O", "Z", "S", "P", "dC", "pC"):
+        rows.append([key, str(PAPER_TABLE2[key]), str(measured[key])])
+    print_report(
+        format_table(
+            ["Parameter", "Paper", "Measured"],
+            rows,
+            title="Table 2 -- mapping parameters for the row address sequence",
+        )
+    )
+
+    for key, expected in PAPER_TABLE2.items():
+        assert measured[key] == expected, f"parameter {key} differs from the paper"

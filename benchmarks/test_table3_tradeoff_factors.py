@@ -1,0 +1,75 @@
+"""Table 3: average delay-reduction and area-increase factors per workload.
+
+For the four workloads of the paper's Table 3 (``dct``, ``zoombytwo``,
+``motion_est``, ``fifo``) the SRAG and the CntAG are synthesised over an
+array-size sweep and the delay-reduction / area-increase factors are
+averaged.  The paper reports factors of 1.7-1.9 (delay) and 2.4-3.2 (area).
+"""
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.analysis.tradeoff import average_factors, compare_generators
+from repro.workloads import dct, fifo, motion_estimation, zoom
+
+#: Array sizes (square) each workload is swept over.
+SIZES = [16, 32, 64, 128]
+
+#: Paper values for side-by-side printing: (delay reduction, area increase).
+PAPER_TABLE3 = {
+    "dct": (1.7, 3.2),
+    "zoombytwo": (1.7, 3.1),
+    "motion_est": (1.8, 3.0),
+    "fifo": (1.9, 2.4),
+}
+
+WORKLOADS = {
+    "dct": lambda size: dct.column_pass_pattern(size, size),
+    "zoombytwo": lambda size: zoom.zoom_read_pattern(size, size, 2),
+    "motion_est": lambda size: motion_estimation.new_img_read_pattern(size, size, 2, 2),
+    "fifo": lambda size: fifo.fifo_pattern(size, size),
+}
+
+
+def _sweep():
+    factors = {}
+    for name, factory in WORKLOADS.items():
+        records = [
+            compare_generators(f"{name}_{size}", factory(size)) for size in SIZES
+        ]
+        factors[name] = average_factors(records)
+    return factors
+
+
+@pytest.fixture(scope="module")
+def table3_factors():
+    return _sweep()
+
+
+def test_table3_average_factors(benchmark, print_report, table3_factors):
+    factors = benchmark.pedantic(lambda: table3_factors, rounds=1, iterations=1)
+
+    rows = []
+    for name in ("dct", "zoombytwo", "motion_est", "fifo"):
+        paper_delay, paper_area = PAPER_TABLE3[name]
+        measured_delay, measured_area = factors[name]
+        rows.append(
+            [name, paper_delay, measured_delay, paper_area, measured_area]
+        )
+    print_report(
+        format_table(
+            ["Example", "paper delay x", "measured delay x", "paper area x", "measured area x"],
+            rows,
+            title="Table 3 -- average delay reduction and area increase factors",
+        )
+    )
+
+    for name, (delay_factor, area_factor) in factors.items():
+        # The SRAG is faster for every workload...
+        assert delay_factor > 1.2, f"{name}: delay reduction factor too small"
+        # ...and pays for it in area, in the same ballpark the paper reports.
+        assert 1.2 < area_factor < 5.0, f"{name}: area factor outside expected band"
+    # The FIFO pattern is among the cheapest in area penalty (it needs no
+    # DivCnt and uses single-register rings), in line with the paper's table
+    # where fifo has the smallest area-increase factor.
+    assert factors["fifo"][1] <= 1.10 * min(area for _, area in factors.values())

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Motion-estimation scenario: SRAG versus CntAG across image sizes.
+
+Reproduces a reduced version of the paper's Figures 8 and 10 for the read and
+write sequences of ``new_img``: for each image size the SRAG and the
+counter-based generator (CntAG) are synthesised, and delay/area are printed
+together with the delay-reduction and area-increase factors.
+
+Run with::
+
+    python examples/motion_estimation_sweep.py [max_size]
+
+``max_size`` defaults to 64; pass 256 to cover the paper's full sweep.
+"""
+
+import sys
+
+from repro.analysis.reporting import format_table
+from repro.analysis.tradeoff import average_factors, compare_generators
+from repro.workloads import motion_estimation
+
+
+def main(max_size: int = 64) -> None:
+    sizes = [s for s in (16, 32, 64, 128, 256) if s <= max_size]
+    rows = []
+    records = []
+    for size in sizes:
+        pattern = motion_estimation.new_img_read_pattern(size, size, 2, 2)
+        record = compare_generators(f"motion_est_read_{size}", pattern)
+        records.append(record)
+        rows.append(
+            [
+                f"{size}x{size}",
+                record.srag.delay_ns,
+                record.cntag.delay_ns,
+                record.srag.area_cells,
+                record.cntag.area_cells,
+                record.delay_reduction_factor,
+                record.area_increase_factor,
+            ]
+        )
+
+    print(
+        format_table(
+            [
+                "array",
+                "SRAG delay/ns",
+                "CntAG delay/ns",
+                "SRAG area",
+                "CntAG area",
+                "delay x",
+                "area x",
+            ],
+            rows,
+            title="Motion estimation (read sequence): SRAG vs CntAG",
+        )
+    )
+    delay_factor, area_factor = average_factors(records)
+    print()
+    print(
+        f"average delay reduction factor: {delay_factor:.2f} "
+        f"(paper, Table 3 'motion est': 1.8)"
+    )
+    print(
+        f"average area increase factor:   {area_factor:.2f} "
+        f"(paper, Table 3 'motion est': 3.0)"
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 64)

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so that editable installs work in offline
+environments whose setuptools/pip combination lacks the ``wheel`` package
+(``pip install -e . --no-build-isolation`` falls back to the legacy
+``setup.py develop`` path).  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

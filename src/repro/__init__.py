@@ -1,0 +1,55 @@
+"""repro -- reproduction of "Performance-Area Trade-Off of Address Generators
+for Address Decoder-Decoupled Memory" (Hettiaratchi, Cheung, Clarke; DATE 2002).
+
+The package is organised in layers (see DESIGN.md for the full inventory):
+
+* :mod:`repro.hdl` -- structural RTL substrate (netlists, primitives,
+  simulator, components, HDL emitters).
+* :mod:`repro.synth` -- standard-cell library, buffering, static timing,
+  area accounting, two-level logic minimisation and FSM synthesis.
+* :mod:`repro.memory` -- conventional RAM, address decoder-decoupled memory
+  (ADDM) and Sequential FIFO Memory models.
+* :mod:`repro.workloads` -- the paper's access patterns (motion estimation,
+  DCT, zoom, FIFO) and additional synthetic patterns.
+* :mod:`repro.core` -- the paper's contribution: the SRAG architecture, the
+  SRAdGen mapping procedure, the two-hot ADDM generator and the relaxed
+  multi-counter extension.
+* :mod:`repro.generators` -- baseline architectures (CntAG, arithmetic,
+  symbolic FSM, SFM pointers) behind a common interface.
+* :mod:`repro.analysis` -- trade-off records, design-space exploration and
+  report formatting.
+
+Quickstart::
+
+    from repro.workloads import motion_estimation
+    from repro.core import generate
+
+    sequence = motion_estimation.read_sequence(16, 16, 2, 2)
+    result = generate(sequence, synthesize=True)
+    print(result.describe())
+"""
+
+from repro.core import (
+    MappingError,
+    SragAddressGenerator,
+    SragFunctionalModel,
+    SragMapping,
+    generate,
+    map_address_sequence,
+    map_sequence,
+)
+from repro.workloads import AddressSequence
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    "AddressSequence",
+    "MappingError",
+    "SragAddressGenerator",
+    "SragFunctionalModel",
+    "SragMapping",
+    "generate",
+    "map_address_sequence",
+    "map_sequence",
+]

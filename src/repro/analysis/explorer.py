@@ -1,0 +1,175 @@
+"""Design-space exploration across address-generator styles.
+
+The paper's closing goal is "to discover algorithms and heuristics which can
+explore the vast design space opened up by address decoder decoupling at a
+high level of abstraction and choose the best architecture".  This module is
+a first cut at that explorer: given an access pattern it evaluates every
+architecture that can implement it (SRAG, relaxed SRAG, CntAG, arithmetic,
+symbolic FSM under several encodings, SFM where applicable), collects their
+area/delay points and reports the Pareto frontier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.mapping_params import MappingError
+from repro.generators.arithmetic import ArithmeticAddressGenerator
+from repro.generators.base import AddressGeneratorDesign
+from repro.generators.counter_based import CounterBasedAddressGenerator
+from repro.generators.fsm_based import FsmAddressGenerator
+from repro.generators.sfm_pointer import SfmPointerGenerator
+from repro.generators.srag_design import SragDesign
+from repro.hdl.netlist import NetlistError
+from repro.synth.cell_library import CellLibrary, STD018
+from repro.workloads.loopnest import AffineAccessPattern
+from repro.workloads.sequences import AddressSequence
+
+__all__ = ["DesignPoint", "ExplorationResult", "explore", "pareto_front"]
+
+
+@dataclass
+class DesignPoint:
+    """One evaluated architecture."""
+
+    style: str
+    variant: str
+    delay_ns: float
+    area_cells: float
+    flip_flops: int
+    applicable: bool = True
+    note: str = ""
+
+    @property
+    def label(self) -> str:
+        """Display label combining style and variant."""
+        return f"{self.style}[{self.variant}]" if self.variant else self.style
+
+
+@dataclass
+class ExplorationResult:
+    """All design points evaluated for one workload."""
+
+    workload: str
+    points: List[DesignPoint] = field(default_factory=list)
+    skipped: List[DesignPoint] = field(default_factory=list)
+
+    def pareto(self) -> List[DesignPoint]:
+        """Pareto-optimal points (minimising both delay and area)."""
+        return pareto_front(self.points)
+
+    def best_delay(self) -> Optional[DesignPoint]:
+        """The fastest applicable design."""
+        return min(self.points, key=lambda p: p.delay_ns) if self.points else None
+
+    def best_area(self) -> Optional[DesignPoint]:
+        """The smallest applicable design."""
+        return min(self.points, key=lambda p: p.area_cells) if self.points else None
+
+    def describe(self) -> str:
+        """Multi-line summary of the exploration."""
+        lines = [f"design space for {self.workload}:"]
+        pareto = set(id(p) for p in self.pareto())
+        for point in sorted(self.points, key=lambda p: p.delay_ns):
+            marker = "*" if id(point) in pareto else " "
+            lines.append(
+                f" {marker} {point.label:<22} delay {point.delay_ns:6.2f} ns   "
+                f"area {point.area_cells:10.0f} cu   FFs {point.flip_flops}"
+            )
+        for point in self.skipped:
+            lines.append(f"   {point.label:<22} not applicable: {point.note}")
+        lines.append("(* = Pareto-optimal)")
+        return "\n".join(lines)
+
+
+def pareto_front(points: Sequence[DesignPoint]) -> List[DesignPoint]:
+    """Points not dominated in both delay and area by any other point."""
+    front: List[DesignPoint] = []
+    for candidate in points:
+        dominated = any(
+            other.delay_ns <= candidate.delay_ns
+            and other.area_cells <= candidate.area_cells
+            and (other.delay_ns < candidate.delay_ns or other.area_cells < candidate.area_cells)
+            for other in points
+        )
+        if not dominated:
+            front.append(candidate)
+    return front
+
+
+def _evaluate(design: AddressGeneratorDesign, variant: str, library: CellLibrary) -> DesignPoint:
+    result = design.synthesize(library)
+    return DesignPoint(
+        style=design.style,
+        variant=variant,
+        delay_ns=result.delay_ns,
+        area_cells=result.area_cells,
+        flip_flops=result.area.flip_flop_count,
+    )
+
+
+def explore(
+    pattern: AffineAccessPattern,
+    *,
+    library: CellLibrary = STD018,
+    fsm_encodings: Sequence[str] = ("binary", "gray", "onehot"),
+    max_fsm_states: int = 512,
+) -> ExplorationResult:
+    """Evaluate every applicable architecture for ``pattern``.
+
+    Architectures that cannot implement the pattern (SRAG restrictions, SFM's
+    FIFO-only limitation, non-power-of-two arrays for the arithmetic style)
+    are recorded in ``skipped`` with the reason, rather than raising.
+
+    Parameters
+    ----------
+    max_fsm_states:
+        Symbolic-FSM variants are skipped for sequences longer than this, to
+        keep exploration time bounded (the blow-up itself is measured by the
+        synthesis-effort benchmark instead).
+    """
+    sequence = pattern.to_sequence()
+    result = ExplorationResult(workload=sequence.name)
+
+    candidates: List[tuple] = [
+        ("SRAG", "two-hot", lambda: SragDesign(sequence)),
+        ("CntAG", "decoders", lambda: CounterBasedAddressGenerator(pattern)),
+        (
+            "CntAG",
+            "adders",
+            lambda: CounterBasedAddressGenerator(pattern, use_concatenation=False),
+        ),
+        ("ArithAG", "binary", lambda: ArithmeticAddressGenerator(sequence)),
+        ("SFM", "pointers", lambda: SfmPointerGenerator(sequence)),
+    ]
+    if sequence.length <= max_fsm_states:
+        for encoding in fsm_encodings:
+            candidates.append(
+                (
+                    "FSM",
+                    encoding,
+                    lambda enc=encoding: FsmAddressGenerator(
+                        sequence, encoding=enc, output_style="two_hot"
+                    ),
+                )
+            )
+
+    for style, variant, factory in candidates:
+        try:
+            design = factory()
+        except (MappingError, NetlistError, ValueError) as error:
+            result.skipped.append(
+                DesignPoint(
+                    style=style,
+                    variant=variant,
+                    delay_ns=float("nan"),
+                    area_cells=float("nan"),
+                    flip_flops=0,
+                    applicable=False,
+                    note=str(error),
+                )
+            )
+            continue
+        result.points.append(_evaluate(design, variant, library))
+    return result

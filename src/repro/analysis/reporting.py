@@ -1,0 +1,86 @@
+"""Plain-text table and series formatting for experiment output.
+
+The benchmark harnesses print their results in the same row/series layout as
+the paper's figures and tables so paper-versus-measured comparison is a
+side-by-side read.  Everything here is plain text (no plotting dependencies,
+the environment is offline).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_series", "format_figure"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: Optional[str] = None,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render rows as an aligned plain-text table."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered: List[str] = []
+        for value in row:
+            if isinstance(value, float):
+                rendered.append(float_format.format(value))
+            else:
+                rendered.append(str(value))
+        rendered_rows.append(rendered)
+
+    widths = [len(str(h)) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line([str(h) for h in headers]))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    *,
+    title: Optional[str] = None,
+    float_format: str = "{:.3f}",
+) -> str:
+    """Render one or more y-series against shared x values (a text 'figure')."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        row: List[object] = [x]
+        for name in series:
+            row.append(series[name][i])
+        rows.append(row)
+    return format_table(headers, rows, title=title, float_format=float_format)
+
+
+def format_figure(
+    title: str,
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    *,
+    y_label: str = "",
+    expectation: str = "",
+) -> str:
+    """Render a figure reproduction: data table plus the expected paper shape."""
+    parts = [f"=== {title} ==="]
+    if y_label:
+        parts.append(f"(y axis: {y_label})")
+    parts.append(format_series(x_label, x_values, series))
+    if expectation:
+        parts.append(f"paper shape: {expectation}")
+    return "\n".join(parts)

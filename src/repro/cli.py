@@ -1,0 +1,161 @@
+"""``sradgen`` command-line tool.
+
+A thin front end over :mod:`repro.core.sradgen`, mirroring the paper's
+SRAdGen utility: read an address sequence, run the mapping procedure, and
+emit synthesisable HDL plus (optionally) area/delay figures.
+
+Usage examples::
+
+    # Map a sequence stored one address per line and write VHDL
+    sradgen --input addresses.txt --rows 4 --cols 4 --vhdl srag.vhd
+
+    # Use a built-in workload and print mapping parameters and synthesis data
+    sradgen --workload motion_est_read --rows 16 --cols 16 --report
+
+    # Explore the design space for a workload
+    sradgen --workload dct --rows 8 --cols 8 --explore
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.explorer import explore
+from repro.core.mapping_params import MappingError
+from repro.core.sradgen import generate
+from repro.workloads import dct, fifo, motion_estimation, zoom
+from repro.workloads.loopnest import AffineAccessPattern
+from repro.workloads.sequences import AddressSequence
+
+__all__ = ["main", "build_parser"]
+
+#: Built-in workload factories: name -> callable(rows, cols) -> AffineAccessPattern
+WORKLOADS = {
+    "motion_est_read": lambda rows, cols: motion_estimation.new_img_read_pattern(
+        cols, rows, 2, 2
+    ),
+    "motion_est_write": lambda rows, cols: motion_estimation.new_img_write_pattern(
+        cols, rows
+    ),
+    "dct": lambda rows, cols: dct.column_pass_pattern(cols, rows),
+    "zoombytwo": lambda rows, cols: zoom.zoom_read_pattern(cols, rows, 2),
+    "fifo": lambda rows, cols: fifo.fifo_pattern(cols, rows),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="sradgen",
+        description=(
+            "Map an address sequence onto the Shift Register based Address "
+            "Generator (SRAG) and emit synthesisable HDL."
+        ),
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--input",
+        help="file containing one linear address per line (comments start with '#')",
+    )
+    source.add_argument(
+        "--workload",
+        choices=sorted(WORKLOADS),
+        help="use a built-in workload instead of an input file",
+    )
+    parser.add_argument("--rows", type=int, required=True, help="memory array rows")
+    parser.add_argument("--cols", type=int, required=True, help="memory array columns")
+    parser.add_argument("--vhdl", help="write generated VHDL to this file")
+    parser.add_argument("--verilog", help="write generated Verilog to this file")
+    parser.add_argument(
+        "--report",
+        action="store_true",
+        help="print mapping parameters and run the synthesis flow",
+    )
+    parser.add_argument(
+        "--explore",
+        action="store_true",
+        help="evaluate alternative architectures and print the design space",
+    )
+    parser.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip gate-level verification of the generated SRAG",
+    )
+    return parser
+
+
+def _read_address_file(path: str) -> List[int]:
+    addresses: List[int] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            stripped = line.split("#", 1)[0].strip()
+            if not stripped:
+                continue
+            try:
+                addresses.append(int(stripped, 0))
+            except ValueError:
+                raise SystemExit(
+                    f"{path}:{line_number}: not an address: {stripped!r}"
+                ) from None
+    if not addresses:
+        raise SystemExit(f"{path}: no addresses found")
+    return addresses
+
+
+def _load_sequence(args: argparse.Namespace) -> AddressSequence:
+    if args.workload:
+        pattern: AffineAccessPattern = WORKLOADS[args.workload](args.rows, args.cols)
+        return pattern.to_sequence()
+    addresses = _read_address_file(args.input)
+    return AddressSequence.from_linear(
+        name=args.input, addresses=addresses, rows=args.rows, cols=args.cols
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    sequence = _load_sequence(args)
+
+    if args.explore:
+        if not args.workload:
+            parser.error("--explore requires --workload (it needs the loop nest)")
+        pattern = WORKLOADS[args.workload](args.rows, args.cols)
+        print(explore(pattern).describe())
+        return 0
+
+    try:
+        result = generate(
+            sequence,
+            emit_vhdl_text=bool(args.vhdl) or not args.verilog,
+            emit_verilog_text=bool(args.verilog),
+            synthesize=args.report,
+            verify=not args.no_verify,
+        )
+    except MappingError as error:
+        print(f"mapping failed: {error}", file=sys.stderr)
+        print(
+            "hint: the sequence violates an SRAG restriction; consider the "
+            "relaxed multi-counter architecture (repro.core.multi_counter) or "
+            "a CntAG/FSM generator.",
+            file=sys.stderr,
+        )
+        return 1
+
+    print(result.describe())
+    if args.vhdl:
+        with open(args.vhdl, "w", encoding="utf-8") as handle:
+            handle.write(result.vhdl or "")
+        print(f"wrote VHDL to {args.vhdl}")
+    if args.verilog:
+        with open(args.verilog, "w", encoding="utf-8") as handle:
+            handle.write(result.verilog or "")
+        print(f"wrote Verilog to {args.verilog}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

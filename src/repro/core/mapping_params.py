@@ -1,0 +1,135 @@
+"""Mapping parameter records (the quantities of the paper's Table 2).
+
+The SRAdGen mapping procedure of Section 5 derives, from a one-dimensional
+address sequence ``I``, the parameter sets
+
+``D``  division counts (consecutive repetitions of each address),
+``R``  the reduced sequence,
+``U``  the unique addresses in order of first appearance,
+``O``  occurrence counts of each unique address in ``R``,
+``Z``  position of each unique address's first appearance in ``R``,
+``S``  the grouping of addresses onto shift registers,
+``P``  pass counts per shift register,
+``dC`` the common division count, and
+``pC`` the common pass count.
+
+:class:`SragMapping` holds all of them so the Table 2 reproduction can print
+exactly the rows the paper prints, and so the structural SRAG builder has
+everything it needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["SragMapping", "MappingError"]
+
+
+class MappingError(Exception):
+    """Raised when a sequence cannot be mapped onto the (single-counter) SRAG.
+
+    The message records which restriction failed: the DivCnt restriction
+    (unequal consecutive-repetition counts), the PassCnt restriction (unequal
+    per-register pass counts), or the grouping verification step.
+    """
+
+
+@dataclass
+class SragMapping:
+    """Result of mapping one 1-D address sequence onto an SRAG.
+
+    Attributes
+    ----------
+    sequence:
+        The input address sequence ``I``.
+    division_counts:
+        ``D`` -- consecutive repetition count of each run in ``I``.
+    reduced:
+        ``R`` -- ``I`` with consecutive repetitions collapsed.
+    unique:
+        ``U`` -- distinct addresses of ``R`` in first-appearance order.
+    occurrences:
+        ``O`` -- how many times each element of ``U`` appears in ``R``.
+    first_positions:
+        ``Z`` -- index in ``R`` of each element of ``U``'s first appearance.
+    registers:
+        ``S`` -- the shift-register grouping: one tuple of addresses per
+        register, in token order.
+    pass_counts:
+        ``P`` -- the portion of ``R`` produced by each register.
+    div_count:
+        ``dC`` -- the common division count.
+    pass_count:
+        ``pC`` -- the common pass count.
+    num_lines:
+        Number of select lines of the dimension being addressed.
+    """
+
+    sequence: List[int]
+    division_counts: List[int]
+    reduced: List[int]
+    unique: List[int]
+    occurrences: List[int]
+    first_positions: List[int]
+    registers: List[Tuple[int, ...]]
+    pass_counts: List[int]
+    div_count: int
+    pass_count: int
+    num_lines: int
+
+    @property
+    def num_registers(self) -> int:
+        """Number of shift registers ``N``."""
+        return len(self.registers)
+
+    @property
+    def register_lengths(self) -> List[int]:
+        """Number of flip-flops ``M_i`` in each register."""
+        return [len(register) for register in self.registers]
+
+    @property
+    def total_flip_flops(self) -> int:
+        """Total shift-register flip-flops (one per distinct address)."""
+        return sum(self.register_lengths)
+
+    def iterations_per_register(self) -> List[int]:
+        """How many times the token circulates each register before passing."""
+        return [
+            self.pass_count // length if length else 0
+            for length in self.register_lengths
+        ]
+
+    def as_table(self) -> Dict[str, object]:
+        """Render the mapping in the same parameter/value form as Table 2."""
+        return {
+            "I": list(self.sequence),
+            "D": list(self.division_counts),
+            "R": list(self.reduced),
+            "U": list(self.unique),
+            "O": list(self.occurrences),
+            "Z": list(self.first_positions),
+            "S": [tuple(register) for register in self.registers],
+            "P": list(self.pass_counts),
+            "dC": self.div_count,
+            "pC": self.pass_count,
+        }
+
+    def describe(self) -> str:
+        """Multi-line rendering of :meth:`as_table` for reports and the CLI."""
+        table = self.as_table()
+        lines = []
+        for key in ("I", "D", "R", "U", "O", "Z", "S", "P", "dC", "pC"):
+            value = table[key]
+            if isinstance(value, list):
+                text = ";".join(str(v) for v in value)
+            elif isinstance(value, tuple):
+                text = str(value)
+            else:
+                text = str(value)
+            if key == "S":
+                text = ";".join(
+                    "(" + ";".join(str(a) for a in group) + ")" for group in value
+                )
+            lines.append(f"{key:>3} = {text}")
+        return "\n".join(lines)

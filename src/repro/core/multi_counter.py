@@ -1,0 +1,335 @@
+"""Generalised SRAG with relaxed counter restrictions.
+
+Section 4 of the paper notes that the single-DivCnt / single-PassCnt
+restrictions "can be relaxed by using multiple counters that provide more
+flexibility in the sequences that can be generated", and that the enable and
+pass signals could equally be derived from shift registers or interacting
+FSMs.  This module implements that extension:
+
+* :class:`GeneralisedSragModel` -- a behavioural model that accepts a
+  *per-run* division count and a *per-register* pass count, so sequences
+  such as ``5,5,5,1,1,...`` (unequal repetition lengths) or
+  ``5,1,4,0,5,1,4,0,5,1,4,0,3,7,6,2,...`` (unequal pass counts) become
+  representable.
+* :func:`map_sequence_relaxed` -- a mapper that produces those generalised
+  parameters for any sequence whose reduced form still decomposes into
+  per-register circulations.
+* :func:`build_generalised_srag` -- a structural elaboration in which the
+  enable and pass signals are derived from a sequence-position counter plus
+  two-level minimised schedule logic (one of the alternative control
+  structures the paper suggests), so the relaxed architecture can still be
+  measured for area and delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.mapping_params import MappingError
+from repro.hdl.components.counter import build_binary_counter
+from repro.hdl.components.shift_register import build_token_shift_register
+from repro.hdl.netlist import Bus, Net, Netlist
+from repro.synth.logic.minimize import minimize
+from repro.synth.logic.synthesize import sop_to_netlist
+from repro.synth.logic.truth_table import TruthTable
+from repro.workloads.sequences import collapse_repetitions, consecutive_repetitions
+
+__all__ = [
+    "GeneralisedSragParameters",
+    "GeneralisedSragModel",
+    "map_sequence_relaxed",
+    "build_generalised_srag",
+]
+
+
+@dataclass
+class GeneralisedSragParameters:
+    """Parameters of the relaxed architecture.
+
+    Attributes
+    ----------
+    registers:
+        Shift-register grouping, as in the single-counter SRAG.
+    division_counts:
+        One division count per *run* of the original sequence (how long each
+        reduced-sequence element is held).
+    pass_schedule:
+        One pass count per register *visit*: entry ``k`` is the number of
+        enable pulses the token spends in the register visited ``k``-th.
+    num_lines:
+        Number of select lines in the dimension.
+    """
+
+    registers: List[Tuple[int, ...]]
+    division_counts: List[int]
+    pass_schedule: List[int]
+    num_lines: int
+
+    @property
+    def sequence_length(self) -> int:
+        """Length of the original (unreduced) sequence."""
+        return sum(self.division_counts)
+
+    @property
+    def reduced_length(self) -> int:
+        """Length of the reduced sequence."""
+        return len(self.division_counts)
+
+
+class GeneralisedSragModel:
+    """Behavioural model of the multi-counter SRAG."""
+
+    def __init__(self, parameters: GeneralisedSragParameters):
+        if not parameters.registers:
+            raise ValueError("at least one shift register is required")
+        if not parameters.division_counts:
+            raise ValueError("the division-count schedule may not be empty")
+        if not parameters.pass_schedule:
+            raise ValueError("the pass schedule may not be empty")
+        self.parameters = parameters
+        self.reset()
+
+    def reset(self) -> None:
+        """Return the token to register 0, position 0 and restart schedules."""
+        self._register_index = 0
+        self._position = 0
+        self._run_index = 0      # which reduced-sequence element we are on
+        self._div_value = 0      # next pulses consumed within the current run
+        self._visit_index = 0    # which pass-schedule entry is active
+        self._enables_in_visit = 0
+
+    @property
+    def current_address(self) -> int:
+        """Select line currently asserted."""
+        return self.parameters.registers[self._register_index][self._position]
+
+    def step(self, next_asserted: bool = True) -> int:
+        """Advance one clock cycle; returns the address after the edge."""
+        if not next_asserted:
+            return self.current_address
+        params = self.parameters
+        run_length = params.division_counts[self._run_index % params.reduced_length]
+        self._div_value += 1
+        if self._div_value < run_length:
+            return self.current_address
+        # The run is complete: shift (enable) and move to the next run.
+        self._div_value = 0
+        self._run_index += 1
+        self._enables_in_visit += 1
+        visit_length = params.pass_schedule[self._visit_index % len(params.pass_schedule)]
+        passing = self._enables_in_visit >= visit_length
+        if passing:
+            self._enables_in_visit = 0
+            self._visit_index += 1
+        self._advance_token(passing)
+        return self.current_address
+
+    def _advance_token(self, passing: bool) -> None:
+        register = self.parameters.registers[self._register_index]
+        if self._position < len(register) - 1:
+            self._position += 1
+            return
+        if passing:
+            self._register_index = (
+                self._register_index + 1
+            ) % len(self.parameters.registers)
+        self._position = 0
+
+    def run(self, cycles: int) -> List[int]:
+        """Addresses produced over ``cycles`` cycles starting from reset."""
+        self.reset()
+        produced = []
+        for _ in range(cycles):
+            produced.append(self.current_address)
+            self.step()
+        return produced
+
+
+def map_sequence_relaxed(
+    sequence: Sequence[int], num_lines: Optional[int] = None
+) -> GeneralisedSragParameters:
+    """Map a sequence onto the relaxed (multi-counter) SRAG.
+
+    Unlike :func:`repro.core.mapper.map_sequence`, unequal repetition counts
+    and unequal per-visit pass counts are allowed; the only remaining
+    requirement is that the reduced sequence decomposes into contiguous
+    circulations of the grouped registers (each visit must walk its register
+    from position 0 in order, a property verified by simulation).
+    """
+    addresses = list(sequence)
+    if not addresses:
+        raise MappingError("cannot map an empty address sequence")
+    if num_lines is None:
+        num_lines = max(addresses) + 1
+
+    division_counts = consecutive_repetitions(addresses)
+    reduced = collapse_repetitions(addresses)
+
+    unique: List[int] = []
+    seen = set()
+    for address in reduced:
+        if address not in seen:
+            seen.add(address)
+            unique.append(address)
+    occurrences = [reduced.count(a) for a in unique]
+    first_positions = [reduced.index(a) for a in unique]
+
+    # Reuse the strict mapper's grouping heuristic.
+    from repro.core.mapper import _group_registers
+
+    registers = _group_registers(unique, occurrences, first_positions)
+
+    # Pass schedule: length of each contiguous ownership block of R.
+    owner: Dict[int, int] = {}
+    for index, register in enumerate(registers):
+        for address in register:
+            owner[address] = index
+    pass_schedule: List[int] = []
+    previous_owner: Optional[int] = None
+    for address in reduced:
+        register_index = owner[address]
+        if register_index == previous_owner:
+            pass_schedule[-1] += 1
+        else:
+            pass_schedule.append(1)
+        previous_owner = register_index
+
+    parameters = GeneralisedSragParameters(
+        registers=registers,
+        division_counts=division_counts,
+        pass_schedule=pass_schedule,
+        num_lines=num_lines,
+    )
+    produced = GeneralisedSragModel(parameters).run(len(addresses))
+    if produced != addresses:
+        raise MappingError(
+            "relaxed mapping verification failed: the sequence does not "
+            "decompose into in-order register circulations"
+        )
+    return parameters
+
+
+@dataclass
+class GeneralisedSragPorts:
+    """Nets of an elaborated generalised SRAG."""
+
+    select_lines: Bus
+    enable: Net
+    pass_signal: Net
+
+
+def build_generalised_srag(
+    netlist: Netlist,
+    parameters: GeneralisedSragParameters,
+    clk: Net,
+    next_signal: Net,
+    reset: Net,
+    *,
+    prefix: str = "gsrag",
+) -> GeneralisedSragPorts:
+    """Elaborate the relaxed SRAG with schedule-derived control.
+
+    A position counter counts ``next`` pulses modulo the sequence length; the
+    ``enable`` and ``pass`` signals are two-level minimised functions of the
+    counter value (the "interacting FSM" style of control the paper mentions
+    as an alternative to plain counters).
+    """
+    sequence_length = parameters.sequence_length
+    position = build_binary_counter(
+        netlist,
+        sequence_length,
+        clk,
+        enable=next_signal,
+        reset=reset,
+        prefix=f"{prefix}_pos",
+    )
+    width = position.width
+
+    # Enable is asserted on the last cycle of every run; pass on the last
+    # cycle of every register visit.
+    enable_positions = set()
+    pass_positions = set()
+    cycle = 0
+    run_index = 0
+    enables_in_visit = 0
+    visit_index = 0
+    for run_length in parameters.division_counts:
+        cycle += run_length
+        enable_positions.add(cycle - 1)
+        run_index += 1
+        enables_in_visit += 1
+        visit_length = parameters.pass_schedule[visit_index % len(parameters.pass_schedule)]
+        if enables_in_visit >= visit_length:
+            pass_positions.add(cycle - 1)
+            enables_in_visit = 0
+            visit_index += 1
+
+    dc_set = frozenset(
+        value for value in range(1 << width) if value >= sequence_length
+    )
+    inverter_cache: Dict[str, Net] = {}
+
+    enable_table = TruthTable(
+        num_inputs=width, on_set=frozenset(enable_positions), dc_set=dc_set
+    )
+    enable_cover, _ = minimize(enable_table)
+    enable_from_position = sop_to_netlist(
+        netlist, enable_cover, list(position.count), prefix=f"{prefix}_en",
+        inverter_cache=inverter_cache,
+    )
+    enable = netlist.new_net(f"{prefix}_enable")
+    netlist.add_cell("AND2", A=enable_from_position, B=next_signal, Y=enable)
+
+    pass_table = TruthTable(
+        num_inputs=width, on_set=frozenset(pass_positions), dc_set=dc_set
+    )
+    pass_cover, _ = minimize(pass_table)
+    pass_signal = sop_to_netlist(
+        netlist, pass_cover, list(position.count), prefix=f"{prefix}_pass",
+        inverter_cache=inverter_cache,
+    )
+
+    # Token shift registers and multiplexors, exactly as in the strict SRAG.
+    num_registers = len(parameters.registers)
+    serial_inputs = [netlist.new_net(f"{prefix}_s{i}_in") for i in range(num_registers)]
+    shift_registers = []
+    for i, addresses in enumerate(parameters.registers):
+        shift_registers.append(
+            build_token_shift_register(
+                netlist,
+                len(addresses),
+                clk,
+                serial_inputs[i],
+                enable=enable,
+                reset=reset,
+                token_at=0 if i == 0 else None,
+                prefix=f"{prefix}_s{i}",
+            )
+        )
+    for i in range(num_registers):
+        own_tail = shift_registers[i].serial_out
+        if num_registers == 1:
+            netlist.add_cell("BUF", A=own_tail, Y=serial_inputs[i])
+            continue
+        previous_tail = shift_registers[(i - 1) % num_registers].serial_out
+        netlist.add_cell(
+            "MUX2",
+            A=own_tail,
+            B=previous_tail,
+            S=pass_signal,
+            Y=serial_inputs[i],
+            name=f"{prefix}_mux{i}",
+        )
+
+    line_nets: List[Optional[Net]] = [None] * parameters.num_lines
+    for register, ports in zip(parameters.registers, shift_registers):
+        for address, q_net in zip(register, ports.outputs):
+            line_nets[address] = q_net
+    select_lines = Bus(
+        [net if net is not None else netlist.const(0) for net in line_nets],
+        name=f"{prefix}_sel",
+    )
+    return GeneralisedSragPorts(
+        select_lines=select_lines, enable=enable, pass_signal=pass_signal
+    )

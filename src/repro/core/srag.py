@@ -1,0 +1,274 @@
+"""Shift Register based Address Generator (SRAG) -- Section 4 of the paper.
+
+Two views of the same architecture are provided:
+
+* :class:`SragFunctionalModel` -- a cycle-accurate but purely behavioural
+  model (token position, DivCnt, PassCnt) used by the mapper's verification
+  step and by fast functional tests;
+* :func:`build_srag` -- the structural elaboration into primitive cells
+  (token shift registers, 2:1 multiplexors, the DivCnt/PassCnt binary
+  counters and their comparator logic) whose area and delay are what the
+  paper's Figures 8 and 10 measure.
+
+Both operate on one dimension of the memory array; the complete two-hot
+generator (row SRAG + column SRAG) is assembled in
+:mod:`repro.core.addm_generator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.mapping_params import MappingError, SragMapping
+from repro.hdl.components.comparator import build_equality_comparator
+from repro.hdl.components.counter import build_binary_counter
+from repro.hdl.components.shift_register import build_token_shift_register
+from repro.hdl.netlist import Bus, Net, Netlist
+
+__all__ = ["SragFunctionalModel", "SragPorts", "build_srag"]
+
+
+# ---------------------------------------------------------------------------
+# Functional model
+# ---------------------------------------------------------------------------
+
+class SragFunctionalModel:
+    """Behavioural model of a one-dimensional SRAG.
+
+    Parameters
+    ----------
+    registers:
+        The shift-register grouping ``S``: one sequence of addresses per
+        register, in token order.  The address stored at flip-flop ``(i, j)``
+        is the select line that flip-flop drives.
+    div_count:
+        ``dC`` -- how many ``next`` pulses each address is held for.
+    pass_count:
+        ``pC`` -- how many enable pulses occur before the token passes to the
+        next register.
+    num_lines:
+        Number of select lines in this dimension.
+    """
+
+    def __init__(
+        self,
+        registers: Sequence[Sequence[int]],
+        div_count: int,
+        pass_count: int,
+        num_lines: Optional[int] = None,
+    ):
+        if not registers or any(len(r) == 0 for r in registers):
+            raise ValueError("SRAG needs at least one non-empty shift register")
+        if div_count < 1:
+            raise ValueError(f"division count must be >= 1, got {div_count}")
+        if pass_count < 1:
+            raise ValueError(f"pass count must be >= 1, got {pass_count}")
+        self.registers: List[Tuple[int, ...]] = [tuple(r) for r in registers]
+        self.div_count = div_count
+        self.pass_count = pass_count
+        all_addresses = [a for register in self.registers for a in register]
+        if len(set(all_addresses)) != len(all_addresses):
+            raise ValueError("an address may be stored in only one flip-flop")
+        self.num_lines = num_lines if num_lines is not None else max(all_addresses) + 1
+        if max(all_addresses) >= self.num_lines:
+            raise ValueError("register addresses exceed the number of select lines")
+        self.reset()
+
+    @classmethod
+    def from_mapping(cls, mapping: SragMapping) -> "SragFunctionalModel":
+        """Build the model directly from a mapper result."""
+        return cls(
+            registers=mapping.registers,
+            div_count=mapping.div_count,
+            pass_count=mapping.pass_count,
+            num_lines=mapping.num_lines,
+        )
+
+    # --------------------------------------------------------------- state
+    def reset(self) -> None:
+        """Return the token to flip-flop (0, 0) and clear both counters."""
+        self._register_index = 0
+        self._position = 0
+        self._div_value = 0
+        self._pass_value = 0
+
+    @property
+    def current_address(self) -> int:
+        """Select line currently asserted (the token's address)."""
+        return self.registers[self._register_index][self._position]
+
+    @property
+    def select_vector(self) -> List[int]:
+        """The full one-hot select-line vector."""
+        address = self.current_address
+        return [1 if line == address else 0 for line in range(self.num_lines)]
+
+    # ------------------------------------------------------------ behaviour
+    def step(self, next_asserted: bool = True) -> int:
+        """Advance one clock cycle; returns the address *after* the edge."""
+        if next_asserted:
+            enable = self._div_value == self.div_count - 1
+            self._div_value = 0 if enable else self._div_value + 1
+            if enable:
+                passing = self._pass_value == self.pass_count - 1
+                self._pass_value = 0 if passing else self._pass_value + 1
+                self._advance_token(passing)
+        return self.current_address
+
+    def _advance_token(self, passing: bool) -> None:
+        register = self.registers[self._register_index]
+        if self._position < len(register) - 1:
+            self._position += 1
+            return
+        if passing:
+            self._register_index = (self._register_index + 1) % len(self.registers)
+        self._position = 0
+
+    def run(self, cycles: int) -> List[int]:
+        """Addresses produced over ``cycles`` cycles starting from reset."""
+        self.reset()
+        produced = []
+        for _ in range(cycles):
+            produced.append(self.current_address)
+            self.step()
+        return produced
+
+
+# ---------------------------------------------------------------------------
+# Structural elaboration
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SragPorts:
+    """Nets of an elaborated one-dimensional SRAG.
+
+    Attributes
+    ----------
+    select_lines:
+        One net per select line; unaccessed lines are tied to 0.
+    enable:
+        The internal shift-enable signal (after DivCnt division).
+    pass_signal:
+        The internal pass signal (``None`` when a single register needs no
+        pass control).
+    flip_flop_outputs:
+        Flip-flop output nets in ``(register, position)`` order, for tests
+        that want to inspect the token directly.
+    """
+
+    select_lines: Bus
+    enable: Net
+    pass_signal: Optional[Net]
+    flip_flop_outputs: List[Net] = field(default_factory=list)
+
+
+def build_srag(
+    netlist: Netlist,
+    mapping: SragMapping,
+    clk: Net,
+    next_signal: Net,
+    reset: Net,
+    *,
+    prefix: str = "srag",
+) -> SragPorts:
+    """Elaborate one dimension of the SRAG into ``netlist``.
+
+    The architecture follows the paper's Figure 5: a DivCnt counter dividing
+    the ``next`` input down to the shift ``enable``, a PassCnt counter
+    deriving the ``pass`` signal, one token shift register per group in the
+    mapping, and a 2:1 multiplexor in front of each register's first
+    flip-flop selecting between recirculation and the previous register's
+    output.
+    """
+    num_registers = mapping.num_registers
+
+    # Divide the next signal down to the shift enable.
+    if mapping.div_count > 1:
+        div_counter = build_binary_counter(
+            netlist,
+            mapping.div_count,
+            clk,
+            enable=next_signal,
+            reset=reset,
+            prefix=f"{prefix}_divcnt",
+        )
+        enable = netlist.new_net(f"{prefix}_enable")
+        netlist.add_cell(
+            "AND2", A=div_counter.terminal_count, B=next_signal, Y=enable
+        )
+    else:
+        enable = next_signal
+
+    # Derive the pass signal from the PassCnt counter.
+    pass_signal: Optional[Net] = None
+    if num_registers > 1:
+        if mapping.pass_count > 1:
+            pass_counter = build_binary_counter(
+                netlist,
+                mapping.pass_count,
+                clk,
+                enable=enable,
+                reset=reset,
+                prefix=f"{prefix}_passcnt",
+            )
+            pass_signal = pass_counter.terminal_count
+        else:
+            pass_signal = netlist.const(1)
+
+    # Token shift registers with their input multiplexors.
+    serial_inputs = [
+        netlist.new_net(f"{prefix}_s{i}_in") for i in range(num_registers)
+    ]
+    shift_registers = []
+    for i, addresses in enumerate(mapping.registers):
+        token_at = 0 if i == 0 else None
+        shift_registers.append(
+            build_token_shift_register(
+                netlist,
+                len(addresses),
+                clk,
+                serial_inputs[i],
+                enable=enable,
+                reset=reset,
+                token_at=token_at,
+                prefix=f"{prefix}_s{i}",
+            )
+        )
+
+    for i in range(num_registers):
+        own_tail = shift_registers[i].serial_out
+        if num_registers == 1:
+            # Single register: simple recirculation, no multiplexor needed.
+            netlist.add_cell("BUF", A=own_tail, Y=serial_inputs[i])
+            continue
+        previous_tail = shift_registers[(i - 1) % num_registers].serial_out
+        netlist.add_cell(
+            "MUX2",
+            A=own_tail,
+            B=previous_tail,
+            S=pass_signal,
+            Y=serial_inputs[i],
+            name=f"{prefix}_mux{i}",
+        )
+
+    # Map flip-flop outputs onto select lines; unaccessed lines stay at 0.
+    line_nets: List[Optional[Net]] = [None] * mapping.num_lines
+    flip_flop_outputs: List[Net] = []
+    for register, ports in zip(mapping.registers, shift_registers):
+        for address, q_net in zip(register, ports.outputs):
+            if line_nets[address] is not None:
+                raise MappingError(f"select line {address} driven twice")
+            line_nets[address] = q_net
+            flip_flop_outputs.append(q_net)
+    select_lines = Bus(
+        [net if net is not None else netlist.const(0) for net in line_nets],
+        name=f"{prefix}_sel",
+    )
+
+    return SragPorts(
+        select_lines=select_lines,
+        enable=enable,
+        pass_signal=pass_signal,
+        flip_flop_outputs=flip_flop_outputs,
+    )

@@ -1,0 +1,99 @@
+"""Common interface for address-generator designs.
+
+Every architecture the library can build -- the SRAG, the counter-based
+CntAG, the arithmetic-based generator, the symbolic-FSM generator and the
+SFM pointer pair -- is wrapped in an :class:`AddressGeneratorDesign` so the
+experiment harnesses and the design-space explorer can treat them uniformly:
+elaborate, verify by simulation, synthesise, and compare area/delay.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional
+
+from repro.hdl.netlist import Netlist
+from repro.synth.cell_library import CellLibrary, STD018
+from repro.synth.flow import run_synthesis_flow
+from repro.synth.report import SynthesisResult
+from repro.workloads.sequences import AddressSequence
+
+__all__ = ["AddressGeneratorDesign"]
+
+
+class AddressGeneratorDesign(abc.ABC):
+    """Abstract base for all address-generator architectures.
+
+    Subclasses implement :meth:`elaborate` (build a fresh netlist) and
+    :meth:`simulate` (produce the linear address sequence the hardware
+    generates).  The base class provides caching, synthesis and verification
+    on top of those two primitives.
+    """
+
+    #: Short architecture label used in reports (e.g. ``"SRAG"``, ``"CntAG"``).
+    style: str = "generic"
+
+    def __init__(self, sequence: AddressSequence, name: Optional[str] = None):
+        self.sequence = sequence
+        self.name = name or f"{self.style.lower()}_{sequence.name}"
+        self._netlist: Optional[Netlist] = None
+
+    # ------------------------------------------------------------- interface
+    @abc.abstractmethod
+    def elaborate(self) -> Netlist:
+        """Build and return a fresh structural netlist for this design."""
+
+    @abc.abstractmethod
+    def simulate(self, cycles: Optional[int] = None) -> List[int]:
+        """Linear addresses the design produces over ``cycles`` cycles."""
+
+    # ------------------------------------------------------------ conveniences
+    @property
+    def netlist(self) -> Netlist:
+        """The elaborated netlist (cached after the first elaboration)."""
+        if self._netlist is None:
+            self._netlist = self.elaborate()
+        return self._netlist
+
+    def invalidate(self) -> None:
+        """Drop the cached netlist (e.g. after synthesis modified it)."""
+        self._netlist = None
+
+    def verify(self, cycles: Optional[int] = None) -> bool:
+        """Check the simulated addresses against the target sequence."""
+        steps = cycles if cycles is not None else self.sequence.length
+        produced = self.simulate(steps)
+        expected = [
+            self.sequence.linear[i % self.sequence.length] for i in range(steps)
+        ]
+        return produced == expected
+
+    def synthesize(
+        self,
+        library: CellLibrary = STD018,
+        *,
+        max_fanout: int = 8,
+        metadata: Optional[Dict[str, object]] = None,
+    ) -> SynthesisResult:
+        """Run the synthesis flow on a fresh elaboration of the design.
+
+        A fresh netlist is used so that repeated synthesis runs (or synthesis
+        after simulation) never see a netlist already modified by buffer
+        insertion.
+        """
+        netlist = self.elaborate()
+        info: Dict[str, object] = {
+            "style": self.style,
+            "workload": self.sequence.name,
+            "rows": self.sequence.rows,
+            "cols": self.sequence.cols,
+            "accesses": self.sequence.length,
+        }
+        info.update(metadata or {})
+        return run_synthesis_flow(
+            netlist,
+            library=library,
+            max_fanout=max_fanout,
+            name=self.name,
+            metadata=info,
+        )

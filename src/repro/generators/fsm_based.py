@@ -1,0 +1,132 @@
+"""Symbolic-FSM address generator (the Section 3 baseline).
+
+Wraps :mod:`repro.synth.fsm` in the common :class:`AddressGeneratorDesign`
+interface: one FSM state per sequence position, synthesised with a chosen
+state encoding, producing either one-hot select lines (for a one-dimensional
+ADDM row, as in Figures 3-4), two-hot row/column select lines (for a 2-D
+ADDM) or binary addresses (for a conventional RAM).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.generators.base import AddressGeneratorDesign
+from repro.hdl.netlist import Bus, Netlist
+from repro.hdl.simulator import Simulator
+from repro.synth.fsm import FiniteStateMachine, FsmSynthesisResult, synthesize_fsm
+from repro.workloads.sequences import AddressSequence
+
+__all__ = ["FsmAddressGenerator"]
+
+_OUTPUT_STYLES = ("select_lines", "two_hot", "binary")
+
+
+class FsmAddressGenerator(AddressGeneratorDesign):
+    """Address generator synthesised from a symbolic state machine."""
+
+    style = "FSM"
+
+    def __init__(
+        self,
+        sequence: AddressSequence,
+        *,
+        encoding: str = "binary",
+        output_style: str = "select_lines",
+        name: Optional[str] = None,
+    ):
+        if output_style not in _OUTPUT_STYLES:
+            raise ValueError(
+                f"output_style must be one of {_OUTPUT_STYLES}, got {output_style!r}"
+            )
+        super().__init__(
+            sequence, name=name or f"fsm_{encoding}_{sequence.name}"
+        )
+        self.encoding = encoding
+        self.output_style = output_style
+        self._synthesis_result: Optional[FsmSynthesisResult] = None
+
+    # ------------------------------------------------------------------- FSM
+    def build_fsm(self) -> FiniteStateMachine:
+        """Construct the symbolic machine for the target sequence."""
+        if self.output_style == "select_lines":
+            return FiniteStateMachine.from_select_sequence(
+                self.sequence.linear,
+                num_lines=self.sequence.rows * self.sequence.cols,
+                name=_sanitise(self.name),
+            )
+        if self.output_style == "two_hot":
+            return FiniteStateMachine.from_two_hot_sequence(
+                self.sequence.row_sequence,
+                self.sequence.col_sequence,
+                self.sequence.rows,
+                self.sequence.cols,
+                name=_sanitise(self.name),
+            )
+        return FiniteStateMachine.from_binary_sequence(
+            self.sequence.linear,
+            address_width=max(1, (self.sequence.rows * self.sequence.cols - 1).bit_length()),
+            name=_sanitise(self.name),
+        )
+
+    @property
+    def fsm_synthesis(self) -> FsmSynthesisResult:
+        """The FSM synthesis result (elaborates on first use)."""
+        if self._synthesis_result is None:
+            self._synthesis_result = synthesize_fsm(
+                self.build_fsm(), encoding=self.encoding, name=_sanitise(self.name)
+            )
+        return self._synthesis_result
+
+    # -------------------------------------------------------------- interface
+    def elaborate(self) -> Netlist:
+        # Re-synthesise each time so callers always receive an unmodified
+        # netlist (the cached fsm_synthesis keeps its own copy for stats).
+        result = synthesize_fsm(
+            self.build_fsm(), encoding=self.encoding, name=_sanitise(self.name)
+        )
+        if self._synthesis_result is None:
+            self._synthesis_result = result
+        return result.netlist
+
+    def simulate(self, cycles: Optional[int] = None) -> List[int]:
+        steps = cycles if cycles is not None else self.sequence.length
+        netlist = self.netlist
+        sim = Simulator(netlist)
+        sim.reset()
+        sim.poke("next", 1)
+        addresses: List[int] = []
+        for _ in range(steps):
+            sim.settle()
+            addresses.append(self._decode_outputs(sim, netlist))
+            sim.step()
+        return addresses
+
+    def _decode_outputs(self, sim: Simulator, netlist: Netlist) -> int:
+        cols = self.sequence.cols
+        if self.output_style == "select_lines":
+            lines = Bus(
+                [netlist.outputs[f"sel_{k}"] for k in range(self.sequence.rows * cols)]
+            )
+            index = sim.peek_onehot(lines)
+            if index is None:
+                raise RuntimeError("no select line asserted")
+            return index
+        if self.output_style == "two_hot":
+            row_lines = Bus([netlist.outputs[f"rs_{k}"] for k in range(self.sequence.rows)])
+            col_lines = Bus([netlist.outputs[f"cs_{k}"] for k in range(cols)])
+            row = sim.peek_onehot(row_lines)
+            col = sim.peek_onehot(col_lines)
+            if row is None or col is None:
+                raise RuntimeError("select lines are not two-hot")
+            return row * cols + col
+        width = max(1, (self.sequence.rows * cols - 1).bit_length())
+        address_bus = Bus([netlist.outputs[f"addr_{k}"] for k in range(width)])
+        return sim.peek_bus(address_bus)
+
+
+def _sanitise(name: str) -> str:
+    cleaned = "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+    if not cleaned or not (cleaned[0].isalpha() or cleaned[0] == "_"):
+        cleaned = f"n_{cleaned}"
+    return cleaned

@@ -1,0 +1,56 @@
+"""SRAG wrapped in the common address-generator interface.
+
+:class:`SragDesign` adapts :class:`~repro.core.addm_generator.SragAddressGenerator`
+to :class:`~repro.generators.base.AddressGeneratorDesign` so the design-space
+explorer and the benchmark harnesses can compare the paper's architecture
+against the baselines through one interface.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.addm_generator import SragAddressGenerator
+from repro.generators.base import AddressGeneratorDesign
+from repro.hdl.netlist import Netlist
+from repro.workloads.sequences import AddressSequence
+
+__all__ = ["SragDesign"]
+
+
+class SragDesign(AddressGeneratorDesign):
+    """The paper's two-hot SRAG as an :class:`AddressGeneratorDesign`."""
+
+    style = "SRAG"
+
+    def __init__(self, sequence: AddressSequence, *, name: Optional[str] = None):
+        super().__init__(sequence, name=name or f"srag_{sequence.name}")
+        # Mapping happens eagerly so that unmappable sequences fail fast with
+        # a MappingError, mirroring how the SRAdGen tool behaves.
+        self._generator = SragAddressGenerator.from_sequence(
+            sequence, name=_sanitise(self.name)
+        )
+
+    @property
+    def generator(self) -> SragAddressGenerator:
+        """The underlying mapped generator (mappings, ports, netlist)."""
+        return self._generator
+
+    def elaborate(self) -> Netlist:
+        # Each elaboration re-runs the (cheap) structural construction so the
+        # returned netlist is never one that synthesis has already buffered.
+        return SragAddressGenerator.from_sequence(
+            self.sequence, name=_sanitise(self.name)
+        ).netlist
+
+    def simulate(self, cycles: Optional[int] = None) -> List[int]:
+        return SragAddressGenerator.from_sequence(
+            self.sequence, name=_sanitise(self.name)
+        ).simulate_structural(cycles)
+
+
+def _sanitise(name: str) -> str:
+    cleaned = "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+    if not cleaned or not (cleaned[0].isalpha() or cleaned[0] == "_"):
+        cleaned = f"n_{cleaned}"
+    return cleaned

@@ -1,0 +1,43 @@
+"""Equality comparator builder.
+
+The SRAG control circuitry compares its DivCnt/PassCnt counter values against
+the constant thresholds ``dC - 1`` and ``pC - 1``; the CntAG wrap-around
+logic compares the address counter against the sequence length.  Both are
+built with this constant-equality comparator.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.hdl.components.gates import build_and_tree
+from repro.hdl.netlist import Net, Netlist, NetlistError
+
+__all__ = ["build_equality_comparator"]
+
+
+def build_equality_comparator(
+    netlist: Netlist,
+    value: Sequence[Net],
+    constant: int,
+    prefix: str = "cmp",
+) -> Net:
+    """Build ``value == constant`` for a constant known at elaboration time.
+
+    Bits that must be 1 are used directly; bits that must be 0 are inverted;
+    the terms are combined with an AND tree.  Returns the single-bit result.
+    """
+    width = len(value)
+    if width == 0:
+        raise NetlistError("comparator needs at least one bit")
+    if constant < 0 or constant >= (1 << width):
+        raise NetlistError(f"constant {constant} does not fit in {width} bits")
+    terms = []
+    for i, bit in enumerate(value):
+        if (constant >> i) & 1:
+            terms.append(bit)
+        else:
+            inverted = netlist.new_net(f"{prefix}_n{i}_")
+            netlist.add_cell("INV", A=bit, Y=inverted)
+            terms.append(inverted)
+    return build_and_tree(netlist, terms, prefix=f"{prefix}_and")

@@ -1,0 +1,51 @@
+"""Parallel register builder."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.hdl.netlist import Bus, Net, Netlist
+
+__all__ = ["build_register"]
+
+
+def build_register(
+    netlist: Netlist,
+    data: Sequence[Net],
+    clk: Net,
+    *,
+    enable: Optional[Net] = None,
+    reset: Optional[Net] = None,
+    prefix: str = "reg",
+) -> Bus:
+    """Build a parallel register over ``data`` and return its output bus.
+
+    Parameters
+    ----------
+    data:
+        Input nets, one flip-flop per bit.
+    enable:
+        Optional clock-enable net; when given, flip-flops hold their value
+        while the enable is low.
+    reset:
+        Optional synchronous reset net (resets every bit to 0).
+    """
+    outputs = []
+    for i, d in enumerate(data):
+        q = netlist.new_net(f"{prefix}_q{i}_")
+        pins = {"D": d, "CLK": clk, "Q": q}
+        if enable is not None and reset is not None:
+            cell_type = "DFF_EN_RST"
+            pins["EN"] = enable
+            pins["RST"] = reset
+        elif enable is not None:
+            cell_type = "DFF_EN"
+            pins["EN"] = enable
+        elif reset is not None:
+            cell_type = "DFF_RST"
+            pins["RST"] = reset
+        else:
+            cell_type = "DFF"
+        netlist.add_cell(cell_type, name=f"{prefix}_ff{i}", **pins)
+        outputs.append(q)
+    return Bus(outputs, name=prefix)

@@ -1,0 +1,100 @@
+"""Token shift-register builder.
+
+The SRAG (Section 4 of the paper) is built from shift registers through which
+a single asserted bit — the *token* — travels, activating one select line per
+step.  Each shift register ``S_i`` is a chain of flip-flops ``s_{i,0} ..
+s_{i,M_i-1}`` with a common clock enable; on reset exactly one flip-flop in
+the whole SRAG is initialised to 1 (the token's home position) and all others
+to 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.hdl.netlist import Bus, Net, Netlist, NetlistError
+
+__all__ = ["TokenShiftRegister", "build_token_shift_register"]
+
+
+@dataclass
+class TokenShiftRegister:
+    """Ports of an elaborated token shift register.
+
+    Attributes
+    ----------
+    outputs:
+        Flip-flop outputs ``s_0 .. s_{length-1}`` in shift order; these are
+        the select lines the register drives.
+    serial_in:
+        The net feeding the first flip-flop.
+    serial_out:
+        The last flip-flop's output (what is recirculated or passed on).
+    length:
+        Number of flip-flops.
+    token_at:
+        Index of the flip-flop initialised to 1 on reset, or ``None``.
+    """
+
+    outputs: Bus
+    serial_in: Net
+    serial_out: Net
+    length: int
+    token_at: Optional[int]
+
+
+def build_token_shift_register(
+    netlist: Netlist,
+    length: int,
+    clk: Net,
+    serial_in: Net,
+    *,
+    enable: Optional[Net] = None,
+    reset: Optional[Net] = None,
+    token_at: Optional[int] = None,
+    prefix: str = "sr",
+) -> TokenShiftRegister:
+    """Build a ``length``-stage shift register with clock enable and reset.
+
+    Parameters
+    ----------
+    serial_in:
+        Net shifted into stage 0 on each enabled clock edge.
+    token_at:
+        Index of the stage whose reset value is 1 (the token's initial
+        position); every other stage resets to 0.  ``None`` resets all
+        stages to 0.
+    """
+    if length < 1:
+        raise NetlistError(f"shift register length must be >= 1, got {length}")
+    if token_at is not None and not (0 <= token_at < length):
+        raise NetlistError(f"token_at {token_at} outside register of length {length}")
+    if enable is None:
+        enable = netlist.const(1)
+    if reset is None:
+        reset = netlist.const(0)
+
+    outputs: List[Net] = []
+    previous = serial_in
+    for j in range(length):
+        q = netlist.new_net(f"{prefix}_q{j}_")
+        cell_type = "DFF_EN_SET" if token_at == j else "DFF_EN_RST"
+        netlist.add_cell(
+            cell_type,
+            name=f"{prefix}_ff{j}",
+            D=previous,
+            CLK=clk,
+            EN=enable,
+            RST=reset,
+            Q=q,
+        )
+        outputs.append(q)
+        previous = q
+    return TokenShiftRegister(
+        outputs=Bus(outputs, name=prefix),
+        serial_in=serial_in,
+        serial_out=outputs[-1],
+        length=length,
+        token_at=token_at,
+    )

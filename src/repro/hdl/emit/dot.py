@@ -1,0 +1,56 @@
+"""Graphviz DOT emitter for netlists.
+
+Useful for visually inspecting small generated address generators (for
+example the two-shift-register SRAG of the paper's Figure 5) and for
+debugging the mapper.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.hdl.netlist import Netlist
+
+__all__ = ["emit_dot"]
+
+
+def emit_dot(netlist: Netlist, *, max_fanout_edges: int = 64) -> str:
+    """Render ``netlist`` as a Graphviz digraph.
+
+    Parameters
+    ----------
+    max_fanout_edges:
+        Nets with more loads than this are drawn as a single fan-out summary
+        edge to keep very large graphs readable.
+    """
+    lines: List[str] = [f'digraph "{netlist.name}" {{', "  rankdir=LR;"]
+    for name in netlist.inputs:
+        lines.append(f'  "{name}" [shape=cds, style=filled, fillcolor=lightblue];')
+    for name in netlist.outputs:
+        lines.append(f'  "out:{name}" [shape=cds, style=filled, fillcolor=lightgreen];')
+    for cell in netlist.cells.values():
+        shape = "box" if not cell.spec.sequential else "box3d"
+        lines.append(f'  "{cell.name}" [shape={shape}, label="{cell.name}\\n{cell.cell_type}"];')
+
+    for net in netlist.nets.values():
+        if net.is_input:
+            source = f'"{net.name}"'
+        elif net.driver is not None:
+            source = f'"{net.driver[0].name}"'
+        else:
+            continue
+        loads = net.loads[:max_fanout_edges]
+        for cell, pin in loads:
+            lines.append(f'  {source} -> "{cell.name}" [label="{pin}", fontsize=8];')
+        if len(net.loads) > max_fanout_edges:
+            lines.append(
+                f'  {source} -> "fanout_{net.name}" '
+                f'[label="+{len(net.loads) - max_fanout_edges} more", style=dashed];'
+            )
+    for name, net in netlist.outputs.items():
+        if net.is_input:
+            lines.append(f'  "{net.name}" -> "out:{name}";')
+        elif net.driver is not None:
+            lines.append(f'  "{net.driver[0].name}" -> "out:{name}";')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,113 @@
+"""Structural Verilog emitter.
+
+Emits a flat structural Verilog-2001 module plus behavioural definitions of
+the primitive cells used, so the output can be simulated or synthesised
+stand-alone.  Provided alongside the VHDL back end because modern flows more
+commonly consume Verilog.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.hdl.netlist import Netlist
+from repro.hdl.primitives import PRIMITIVES
+
+__all__ = ["emit_verilog"]
+
+_COMB_EXPR = {
+    "TIE0": "1'b0",
+    "TIE1": "1'b1",
+    "BUF": "A",
+    "INV": "~A",
+    "AND2": "A & B",
+    "AND3": "A & B & C",
+    "AND4": "A & B & C & D",
+    "NAND2": "~(A & B)",
+    "NAND3": "~(A & B & C)",
+    "NAND4": "~(A & B & C & D)",
+    "OR2": "A | B",
+    "OR3": "A | B | C",
+    "OR4": "A | B | C | D",
+    "NOR2": "~(A | B)",
+    "NOR3": "~(A | B | C)",
+    "NOR4": "~(A | B | C | D)",
+    "XOR2": "A ^ B",
+    "XNOR2": "~(A ^ B)",
+    "MUX2": "S ? B : A",
+    "AOI21": "~((A & B) | C)",
+    "OAI21": "~((A | B) & C)",
+}
+
+
+def _module_for(cell_type: str) -> str:
+    return f"repro_{cell_type.lower()}"
+
+
+def _primitive_module(cell_type: str) -> str:
+    spec = PRIMITIVES[cell_type]
+    ports = list(spec.inputs) + list(spec.outputs)
+    lines = [f"module {_module_for(cell_type)}({', '.join(ports)});"]
+    for pin in spec.inputs:
+        lines.append(f"  input {pin};")
+    for pin in spec.outputs:
+        if spec.sequential:
+            lines.append(f"  output reg {pin};")
+        else:
+            lines.append(f"  output {pin};")
+    if not spec.sequential:
+        lines.append(f"  assign Y = {_COMB_EXPR[cell_type]};")
+    else:
+        lines.append("  always @(posedge CLK) begin")
+        if "RST" in spec.inputs:
+            reset_value = "1'b1" if cell_type.endswith("SET") else "1'b0"
+            lines.append(f"    if (RST) Q <= {reset_value};")
+            prefix = "    else "
+        elif "SET" in spec.inputs:
+            lines.append("    if (SET) Q <= 1'b1;")
+            prefix = "    else "
+        else:
+            prefix = "    "
+        if "EN" in spec.inputs:
+            lines.append(f"{prefix}if (EN) Q <= D;")
+        else:
+            lines.append(f"{prefix}Q <= D;")
+        lines.append("  end")
+    lines.append("endmodule")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def emit_verilog(netlist: Netlist, *, include_primitives: bool = True) -> str:
+    """Render ``netlist`` as structural Verilog-2001."""
+    netlist.validate()
+    used_types = sorted({cell.cell_type for cell in netlist.cells.values()})
+
+    chunks: List[str] = []
+    if include_primitives:
+        for cell_type in used_types:
+            chunks.append(_primitive_module(cell_type))
+
+    port_names = list(netlist.inputs) + list(netlist.outputs)
+    lines = [f"module {netlist.name}({', '.join(port_names)});"]
+    for name in netlist.inputs:
+        lines.append(f"  input {name};")
+    for name in netlist.outputs:
+        lines.append(f"  output {name};")
+
+    port_net_names = set(netlist.inputs) | set(netlist.outputs)
+    for net_name in sorted(netlist.nets):
+        if net_name not in port_net_names:
+            lines.append(f"  wire {net_name};")
+
+    for port_name, net in netlist.outputs.items():
+        if net.name != port_name:
+            lines.append(f"  assign {port_name} = {net.name};")
+
+    for cell in netlist.cells.values():
+        assocs = ", ".join(f".{pin}({net.name})" for pin, net in cell.pins.items())
+        lines.append(f"  {_module_for(cell.cell_type)} {cell.name}({assocs});")
+    lines.append("endmodule")
+    lines.append("")
+    chunks.append("\n".join(lines))
+    return "\n".join(chunks)

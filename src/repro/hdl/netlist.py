@@ -1,0 +1,385 @@
+"""Flat gate-level netlist representation.
+
+The netlist is the central data structure of the reproduction.  Every
+address-generator architecture studied in the paper (the shift-register based
+SRAG, the counter-plus-decoder CntAG, the symbolic FSM generator, the
+arithmetic generator) is elaborated into a :class:`Netlist` of primitive
+cells, and the same netlist object is then
+
+* simulated cycle-by-cycle to check that it produces the intended address
+  sequence (:mod:`repro.hdl.simulator`),
+* timed and measured for area against the standard-cell library
+  (:mod:`repro.synth.timing`, :mod:`repro.synth.area`), and
+* emitted as structural VHDL or Verilog (:mod:`repro.hdl.emit`).
+
+The representation is intentionally flat: hierarchy only matters for the
+emitters, and generated address generators are naturally flat structures.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.hdl.primitives import PRIMITIVES, CellSpec
+
+__all__ = ["Net", "Bus", "Cell", "Netlist", "NetlistError", "PortDirection"]
+
+_IDENT_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+class NetlistError(Exception):
+    """Raised for structural errors while building or validating a netlist."""
+
+
+class PortDirection:
+    """Enumeration of top-level port directions."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+
+
+@dataclass(eq=False)
+class Net:
+    """A single-bit wire.
+
+    A net has at most one driver, which is either a top-level input port or
+    the output pin of a cell.  Loads are (cell, pin-name) pairs plus any
+    top-level output ports that alias the net.
+    """
+
+    name: str
+    driver: Optional[Tuple["Cell", str]] = None
+    is_input: bool = False
+    loads: List[Tuple["Cell", str]] = field(default_factory=list)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Net({self.name!r})"
+
+    @property
+    def has_driver(self) -> bool:
+        """Return ``True`` when the net is driven by a cell or is an input."""
+        return self.is_input or self.driver is not None
+
+    @property
+    def fanout(self) -> int:
+        """Number of cell pins loading this net."""
+        return len(self.loads)
+
+
+class Bus(Sequence[Net]):
+    """An ordered collection of nets treated as a little-endian vector.
+
+    ``bus[0]`` is the least-significant bit.  Buses are a pure convenience on
+    top of :class:`Net`; the netlist itself only knows about single-bit nets.
+    """
+
+    def __init__(self, nets: Iterable[Net], name: str = ""):
+        self._nets: List[Net] = list(nets)
+        self.name = name
+
+    def __getitem__(self, index):  # type: ignore[override]
+        if isinstance(index, slice):
+            return Bus(self._nets[index], name=self.name)
+        return self._nets[index]
+
+    def __len__(self) -> int:
+        return len(self._nets)
+
+    def __iter__(self) -> Iterator[Net]:
+        return iter(self._nets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Bus({self.name!r}, width={len(self._nets)})"
+
+    @property
+    def width(self) -> int:
+        """Number of bits in the bus."""
+        return len(self._nets)
+
+    def bits(self) -> List[Net]:
+        """Return the underlying nets, LSB first."""
+        return list(self._nets)
+
+
+@dataclass(eq=False)
+class Cell:
+    """An instance of a primitive cell.
+
+    ``pins`` maps pin names (as declared by the cell's :class:`CellSpec`) to
+    the nets they connect to.  Output pins always drive their net; input pins
+    load theirs.
+    """
+
+    name: str
+    cell_type: str
+    pins: Dict[str, Net] = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Cell({self.name!r}, {self.cell_type})"
+
+    @property
+    def spec(self) -> CellSpec:
+        """The :class:`CellSpec` describing this cell's type."""
+        return PRIMITIVES[self.cell_type]
+
+    def input_nets(self) -> Dict[str, Net]:
+        """Mapping of input pin name to connected net."""
+        return {p: self.pins[p] for p in self.spec.inputs if p in self.pins}
+
+    def output_nets(self) -> Dict[str, Net]:
+        """Mapping of output pin name to connected net."""
+        return {p: self.pins[p] for p in self.spec.outputs if p in self.pins}
+
+
+class Netlist:
+    """A flat netlist of primitive cells.
+
+    Parameters
+    ----------
+    name:
+        Entity/module name used by the emitters.
+    """
+
+    def __init__(self, name: str = "top"):
+        if not _IDENT_RE.match(name):
+            raise NetlistError(f"invalid netlist name: {name!r}")
+        self.name = name
+        self._nets: Dict[str, Net] = {}
+        self._cells: Dict[str, Cell] = {}
+        self._inputs: Dict[str, Net] = {}
+        self._outputs: Dict[str, Net] = {}
+        self._name_counter = itertools.count()
+
+    # ------------------------------------------------------------------ nets
+    def _unique_name(self, prefix: str, table: Dict[str, object]) -> str:
+        candidate = prefix
+        while candidate in table:
+            candidate = f"{prefix}_{next(self._name_counter)}"
+        return candidate
+
+    def net(self, name: Optional[str] = None) -> Net:
+        """Create (or fetch) a net.
+
+        When ``name`` is ``None`` a fresh anonymous net is created.  When a
+        net with the given name already exists it is returned, which lets
+        builders share nets by name.
+        """
+        if name is None:
+            name = self._unique_name(f"n{next(self._name_counter)}", self._nets)
+        if name in self._nets:
+            return self._nets[name]
+        if not _IDENT_RE.match(name):
+            raise NetlistError(f"invalid net name: {name!r}")
+        net = Net(name=name)
+        self._nets[name] = net
+        return net
+
+    def new_net(self, prefix: str = "n") -> Net:
+        """Create a fresh net with a unique name derived from ``prefix``."""
+        name = self._unique_name(f"{prefix}{next(self._name_counter)}", self._nets)
+        return self.net(name)
+
+    def bus(self, width: int, prefix: str = "b") -> Bus:
+        """Create a bus of ``width`` fresh nets."""
+        if width < 0:
+            raise NetlistError(f"bus width must be non-negative, got {width}")
+        return Bus([self.new_net(f"{prefix}_{i}_") for i in range(width)], name=prefix)
+
+    # ----------------------------------------------------------------- ports
+    def add_input(self, name: str) -> Net:
+        """Declare a top-level input port and return its net."""
+        net = self.net(name)
+        if net.driver is not None:
+            raise NetlistError(f"net {name!r} already driven; cannot be an input")
+        net.is_input = True
+        self._inputs[name] = net
+        return net
+
+    def add_input_bus(self, name: str, width: int) -> Bus:
+        """Declare a ``width``-bit input bus ``name[0..width-1]``."""
+        return Bus([self.add_input(f"{name}_{i}") for i in range(width)], name=name)
+
+    def add_output(self, name: str, net: Net) -> Net:
+        """Declare ``net`` as the top-level output port ``name``."""
+        if name in self._outputs:
+            raise NetlistError(f"duplicate output port {name!r}")
+        self._outputs[name] = net
+        return net
+
+    def add_output_bus(self, name: str, bus: Sequence[Net]) -> Bus:
+        """Declare every bit of ``bus`` as output ports ``name_<i>``."""
+        nets = [self.add_output(f"{name}_{i}", bit) for i, bit in enumerate(bus)]
+        return Bus(nets, name=name)
+
+    @property
+    def inputs(self) -> Dict[str, Net]:
+        """Top-level input ports, by name."""
+        return dict(self._inputs)
+
+    @property
+    def outputs(self) -> Dict[str, Net]:
+        """Top-level output ports, by name."""
+        return dict(self._outputs)
+
+    @property
+    def nets(self) -> Dict[str, Net]:
+        """All nets, by name."""
+        return dict(self._nets)
+
+    @property
+    def cells(self) -> Dict[str, Cell]:
+        """All cell instances, by instance name."""
+        return dict(self._cells)
+
+    # ----------------------------------------------------------------- cells
+    def add_cell(
+        self,
+        cell_type: str,
+        name: Optional[str] = None,
+        **pins: Net,
+    ) -> Cell:
+        """Instantiate a primitive cell.
+
+        Parameters
+        ----------
+        cell_type:
+            Name of a primitive registered in :data:`repro.hdl.primitives.PRIMITIVES`.
+        name:
+            Optional instance name; a unique one is generated when omitted.
+        pins:
+            Pin-name to :class:`Net` connections.  All declared pins of the
+            cell type must be connected.
+        """
+        if cell_type not in PRIMITIVES:
+            raise NetlistError(f"unknown cell type {cell_type!r}")
+        spec = PRIMITIVES[cell_type]
+        if name is None:
+            name = self._unique_name(
+                f"u{next(self._name_counter)}_{cell_type.lower()}", self._cells
+            )
+        if name in self._cells:
+            raise NetlistError(f"duplicate cell instance name {name!r}")
+        declared = set(spec.inputs) | set(spec.outputs)
+        missing = declared - set(pins)
+        if missing:
+            raise NetlistError(
+                f"cell {name!r} ({cell_type}): unconnected pins {sorted(missing)}"
+            )
+        extra = set(pins) - declared
+        if extra:
+            raise NetlistError(
+                f"cell {name!r} ({cell_type}): unknown pins {sorted(extra)}"
+            )
+        cell = Cell(name=name, cell_type=cell_type, pins=dict(pins))
+        for pin_name, net in pins.items():
+            if pin_name in spec.outputs:
+                if net.has_driver:
+                    raise NetlistError(
+                        f"net {net.name!r} already driven; cannot also be driven "
+                        f"by {name}.{pin_name}"
+                    )
+                net.driver = (cell, pin_name)
+            else:
+                net.loads.append((cell, pin_name))
+        self._cells[name] = cell
+        return cell
+
+    # ------------------------------------------------------- helper builders
+    def const(self, value: int) -> Net:
+        """Return a net tied to constant 0 or 1."""
+        if value not in (0, 1):
+            raise NetlistError(f"constant must be 0 or 1, got {value!r}")
+        cell_type = "TIE1" if value else "TIE0"
+        net = self.new_net("const")
+        self.add_cell(cell_type, Y=net)
+        return net
+
+    def const_bus(self, value: int, width: int) -> Bus:
+        """Return a bus tied to the binary encoding of ``value`` (LSB first)."""
+        if value < 0 or value >= (1 << width):
+            raise NetlistError(f"constant {value} does not fit in {width} bits")
+        return Bus(
+            [self.const((value >> i) & 1) for i in range(width)],
+            name=f"const{value}",
+        )
+
+    # ---------------------------------------------------------- introspection
+    def sequential_cells(self) -> List[Cell]:
+        """Return all flip-flop cells."""
+        return [c for c in self._cells.values() if c.spec.sequential]
+
+    def combinational_cells(self) -> List[Cell]:
+        """Return all non-flip-flop cells."""
+        return [c for c in self._cells.values() if not c.spec.sequential]
+
+    def stats(self) -> Dict[str, int]:
+        """Return a histogram of cell types plus totals."""
+        histogram: Dict[str, int] = {}
+        for cell in self._cells.values():
+            histogram[cell.cell_type] = histogram.get(cell.cell_type, 0) + 1
+        histogram["_total_cells"] = len(self._cells)
+        histogram["_total_nets"] = len(self._nets)
+        histogram["_flip_flops"] = len(self.sequential_cells())
+        return histogram
+
+    def validate(self) -> None:
+        """Check structural integrity.
+
+        Raises
+        ------
+        NetlistError
+            If any net used by a cell or output port has no driver, or if a
+            declared output port's net does not exist in the netlist.
+        """
+        for cell in self._cells.values():
+            for pin_name, net in cell.input_nets().items():
+                if not net.has_driver:
+                    raise NetlistError(
+                        f"net {net.name!r} feeding {cell.name}.{pin_name} has no driver"
+                    )
+        for port_name, net in self._outputs.items():
+            if not net.has_driver:
+                raise NetlistError(
+                    f"output port {port_name!r} net {net.name!r} has no driver"
+                )
+            if net.name not in self._nets:
+                raise NetlistError(
+                    f"output port {port_name!r} references unknown net {net.name!r}"
+                )
+
+    def topological_combinational_order(self) -> List[Cell]:
+        """Return combinational cells in evaluation order.
+
+        Flip-flop outputs and top-level inputs are treated as sources.  A
+        combinational loop raises :class:`NetlistError`.
+        """
+        comb = self.combinational_cells()
+        indegree: Dict[str, int] = {}
+        dependents: Dict[str, List[Cell]] = {}
+        for cell in comb:
+            count = 0
+            for net in cell.input_nets().values():
+                driver = net.driver
+                if driver is None:
+                    continue
+                driver_cell, _ = driver
+                if not driver_cell.spec.sequential:
+                    count += 1
+                    dependents.setdefault(driver_cell.name, []).append(cell)
+            indegree[cell.name] = count
+        ready = [c for c in comb if indegree[c.name] == 0]
+        order: List[Cell] = []
+        while ready:
+            cell = ready.pop()
+            order.append(cell)
+            for dep in dependents.get(cell.name, []):
+                indegree[dep.name] -= 1
+                if indegree[dep.name] == 0:
+                    ready.append(dep)
+        if len(order) != len(comb):
+            cyclic = sorted(set(indegree) - {c.name for c in order})
+            raise NetlistError(f"combinational loop involving cells: {cyclic[:10]}")
+        return order

@@ -1,0 +1,263 @@
+"""Primitive cell vocabulary.
+
+Every netlist in the reproduction is built from the fixed set of primitive
+cell types defined here.  A primitive is described by a :class:`CellSpec`
+holding its pin lists, whether it is sequential, and a functional model used
+by the cycle-accurate simulator.
+
+The set mirrors a small 0.18 um-class standard-cell library: inverters and
+buffers, 2/3/4-input NAND / NOR / AND / OR, XOR / XNOR, a 2:1 multiplexor,
+AOI/OAI cells, constant ties and a family of D flip-flops with optional
+clock-enable and synchronous reset/set.  Area and timing characteristics for
+the same type names live in :mod:`repro.synth.cell_library`; this module is
+purely structural/functional so the HDL layer has no dependency on the
+synthesis layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Sequence, Tuple
+
+__all__ = ["CellSpec", "PRIMITIVES", "is_sequential", "combinational_eval", "flop_next_state"]
+
+# A combinational evaluation function maps input pin values to output pin values.
+CombEval = Callable[[Mapping[str, int]], Dict[str, int]]
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """Static description of a primitive cell type.
+
+    Attributes
+    ----------
+    name:
+        Cell type name, e.g. ``"NAND2"``.
+    inputs:
+        Ordered input pin names.
+    outputs:
+        Ordered output pin names.
+    sequential:
+        ``True`` for flip-flops.
+    eval_fn:
+        Functional model.  For combinational cells it maps input pin values
+        to output pin values.  For sequential cells it computes the *next*
+        state from the pins ``D``/``EN``/``RST``/``SET`` and the current
+        state ``Q`` (passed in the mapping under the key ``"Q"``).
+    description:
+        Human-readable description used in documentation and reports.
+    """
+
+    name: str
+    inputs: Tuple[str, ...]
+    outputs: Tuple[str, ...]
+    sequential: bool
+    eval_fn: CombEval
+    description: str = ""
+
+
+def _bit(value: int) -> int:
+    return 1 if value else 0
+
+
+# --------------------------------------------------------------------------
+# Combinational models
+# --------------------------------------------------------------------------
+
+def _tie0(_: Mapping[str, int]) -> Dict[str, int]:
+    return {"Y": 0}
+
+
+def _tie1(_: Mapping[str, int]) -> Dict[str, int]:
+    return {"Y": 1}
+
+
+def _buf(pins: Mapping[str, int]) -> Dict[str, int]:
+    return {"Y": _bit(pins["A"])}
+
+
+def _inv(pins: Mapping[str, int]) -> Dict[str, int]:
+    return {"Y": _bit(not pins["A"])}
+
+
+def _and_fn(names: Sequence[str]) -> CombEval:
+    def fn(pins: Mapping[str, int]) -> Dict[str, int]:
+        return {"Y": _bit(all(pins[n] for n in names))}
+
+    return fn
+
+
+def _nand_fn(names: Sequence[str]) -> CombEval:
+    def fn(pins: Mapping[str, int]) -> Dict[str, int]:
+        return {"Y": _bit(not all(pins[n] for n in names))}
+
+    return fn
+
+
+def _or_fn(names: Sequence[str]) -> CombEval:
+    def fn(pins: Mapping[str, int]) -> Dict[str, int]:
+        return {"Y": _bit(any(pins[n] for n in names))}
+
+    return fn
+
+
+def _nor_fn(names: Sequence[str]) -> CombEval:
+    def fn(pins: Mapping[str, int]) -> Dict[str, int]:
+        return {"Y": _bit(not any(pins[n] for n in names))}
+
+    return fn
+
+
+def _xor2(pins: Mapping[str, int]) -> Dict[str, int]:
+    return {"Y": _bit(bool(pins["A"]) != bool(pins["B"]))}
+
+
+def _xnor2(pins: Mapping[str, int]) -> Dict[str, int]:
+    return {"Y": _bit(bool(pins["A"]) == bool(pins["B"]))}
+
+
+def _mux2(pins: Mapping[str, int]) -> Dict[str, int]:
+    return {"Y": _bit(pins["B"] if pins["S"] else pins["A"])}
+
+
+def _aoi21(pins: Mapping[str, int]) -> Dict[str, int]:
+    return {"Y": _bit(not ((pins["A"] and pins["B"]) or pins["C"]))}
+
+
+def _oai21(pins: Mapping[str, int]) -> Dict[str, int]:
+    return {"Y": _bit(not ((pins["A"] or pins["B"]) and pins["C"]))}
+
+
+# --------------------------------------------------------------------------
+# Sequential models
+#
+# The mapping passed to the eval function contains the connected data pins
+# plus "Q" (the current state).  The function returns the next state after a
+# rising clock edge.  Reset/set are synchronous and dominate the enable.
+# --------------------------------------------------------------------------
+
+def _dff(pins: Mapping[str, int]) -> Dict[str, int]:
+    return {"Q": _bit(pins["D"])}
+
+
+def _dff_rst(pins: Mapping[str, int]) -> Dict[str, int]:
+    if pins["RST"]:
+        return {"Q": 0}
+    return {"Q": _bit(pins["D"])}
+
+
+def _dff_set(pins: Mapping[str, int]) -> Dict[str, int]:
+    if pins["SET"]:
+        return {"Q": 1}
+    return {"Q": _bit(pins["D"])}
+
+
+def _dff_en(pins: Mapping[str, int]) -> Dict[str, int]:
+    if pins["EN"]:
+        return {"Q": _bit(pins["D"])}
+    return {"Q": _bit(pins["Q"])}
+
+
+def _dff_en_rst(pins: Mapping[str, int]) -> Dict[str, int]:
+    if pins["RST"]:
+        return {"Q": 0}
+    if pins["EN"]:
+        return {"Q": _bit(pins["D"])}
+    return {"Q": _bit(pins["Q"])}
+
+
+def _dff_en_set(pins: Mapping[str, int]) -> Dict[str, int]:
+    if pins["RST"]:
+        return {"Q": 1}
+    if pins["EN"]:
+        return {"Q": _bit(pins["D"])}
+    return {"Q": _bit(pins["Q"])}
+
+
+# --------------------------------------------------------------------------
+# Registry
+# --------------------------------------------------------------------------
+
+def _spec(
+    name: str,
+    inputs: Sequence[str],
+    outputs: Sequence[str],
+    eval_fn: CombEval,
+    sequential: bool = False,
+    description: str = "",
+) -> CellSpec:
+    return CellSpec(
+        name=name,
+        inputs=tuple(inputs),
+        outputs=tuple(outputs),
+        sequential=sequential,
+        eval_fn=eval_fn,
+        description=description,
+    )
+
+
+PRIMITIVES: Dict[str, CellSpec] = {}
+
+
+def _register(spec: CellSpec) -> None:
+    PRIMITIVES[spec.name] = spec
+
+
+_register(_spec("TIE0", [], ["Y"], _tie0, description="constant logic 0"))
+_register(_spec("TIE1", [], ["Y"], _tie1, description="constant logic 1"))
+_register(_spec("BUF", ["A"], ["Y"], _buf, description="non-inverting buffer"))
+_register(_spec("INV", ["A"], ["Y"], _inv, description="inverter"))
+
+for _n in (2, 3, 4):
+    _pins = ["A", "B", "C", "D"][:_n]
+    _register(_spec(f"AND{_n}", _pins, ["Y"], _and_fn(_pins), description=f"{_n}-input AND"))
+    _register(_spec(f"NAND{_n}", _pins, ["Y"], _nand_fn(_pins), description=f"{_n}-input NAND"))
+    _register(_spec(f"OR{_n}", _pins, ["Y"], _or_fn(_pins), description=f"{_n}-input OR"))
+    _register(_spec(f"NOR{_n}", _pins, ["Y"], _nor_fn(_pins), description=f"{_n}-input NOR"))
+
+_register(_spec("XOR2", ["A", "B"], ["Y"], _xor2, description="2-input XOR"))
+_register(_spec("XNOR2", ["A", "B"], ["Y"], _xnor2, description="2-input XNOR"))
+_register(_spec("MUX2", ["A", "B", "S"], ["Y"], _mux2,
+                description="2:1 multiplexor, Y = B when S else A"))
+_register(_spec("AOI21", ["A", "B", "C"], ["Y"], _aoi21,
+                description="AND-OR-invert: Y = !(A&B | C)"))
+_register(_spec("OAI21", ["A", "B", "C"], ["Y"], _oai21,
+                description="OR-AND-invert: Y = !((A|B) & C)"))
+
+_register(_spec("DFF", ["D", "CLK"], ["Q"], _dff, sequential=True,
+                description="D flip-flop"))
+_register(_spec("DFF_RST", ["D", "CLK", "RST"], ["Q"], _dff_rst, sequential=True,
+                description="D flip-flop with synchronous reset to 0"))
+_register(_spec("DFF_SET", ["D", "CLK", "SET"], ["Q"], _dff_set, sequential=True,
+                description="D flip-flop with synchronous set to 1"))
+_register(_spec("DFF_EN", ["D", "CLK", "EN"], ["Q"], _dff_en, sequential=True,
+                description="D flip-flop with clock enable"))
+_register(_spec("DFF_EN_RST", ["D", "CLK", "EN", "RST"], ["Q"], _dff_en_rst, sequential=True,
+                description="D flip-flop with clock enable and synchronous reset to 0"))
+_register(_spec("DFF_EN_SET", ["D", "CLK", "EN", "RST"], ["Q"], _dff_en_set, sequential=True,
+                description="D flip-flop with clock enable and synchronous reset to 1"))
+
+
+def is_sequential(cell_type: str) -> bool:
+    """Return ``True`` when ``cell_type`` names a flip-flop primitive."""
+    return PRIMITIVES[cell_type].sequential
+
+
+def combinational_eval(cell_type: str, pins: Mapping[str, int]) -> Dict[str, int]:
+    """Evaluate a combinational primitive's outputs for the given pin values."""
+    spec = PRIMITIVES[cell_type]
+    if spec.sequential:
+        raise ValueError(f"{cell_type} is sequential; use flop_next_state()")
+    return spec.eval_fn(pins)
+
+
+def flop_next_state(cell_type: str, pins: Mapping[str, int]) -> int:
+    """Compute a flip-flop's next state after a rising clock edge.
+
+    ``pins`` must contain the connected data/control pin values plus the
+    current state under the key ``"Q"``.
+    """
+    spec = PRIMITIVES[cell_type]
+    if not spec.sequential:
+        raise ValueError(f"{cell_type} is combinational; use combinational_eval()")
+    return spec.eval_fn(pins)["Q"]

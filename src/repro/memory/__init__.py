@@ -1,0 +1,36 @@
+"""Memory models.
+
+Functional models of the three memory organisations discussed in the paper:
+
+* :class:`~repro.memory.ram.ConventionalRAM` -- the standard RAM model of
+  Figure 1, with built-in row/column address decoders and a binary address
+  port.
+* :class:`~repro.memory.addm.AddressDecoderDecoupledMemory` -- the proposed
+  ADDM model of Figure 2, whose cell array is driven directly by row-select
+  and column-select lines (and which therefore corrupts data if more than one
+  line is asserted -- the hazard called out in the paper's conclusion).
+* :class:`~repro.memory.sfm.SequentialFifoMemory` -- Aloqeely's Sequential
+  FIFO Memory (Figure 6), the prior art the SRAG improves on.
+
+The paper excludes the memory cell array from all area/delay figures, so
+these models are used for functional verification (does a generated address
+generator stream the right data in and out?) rather than for estimation.
+"""
+
+from repro.memory.cell_array import MemoryCellArray, MultipleSelectError
+from repro.memory.layout import DataLayout, ROW_MAJOR, COLUMN_MAJOR, BlockedLayout
+from repro.memory.ram import ConventionalRAM
+from repro.memory.addm import AddressDecoderDecoupledMemory
+from repro.memory.sfm import SequentialFifoMemory
+
+__all__ = [
+    "MemoryCellArray",
+    "MultipleSelectError",
+    "DataLayout",
+    "ROW_MAJOR",
+    "COLUMN_MAJOR",
+    "BlockedLayout",
+    "ConventionalRAM",
+    "AddressDecoderDecoupledMemory",
+    "SequentialFifoMemory",
+]

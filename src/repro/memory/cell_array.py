@@ -1,0 +1,108 @@
+"""Two-dimensional memory cell array with a select-line interface.
+
+This is the storage fabric shared by every memory model in the package.  It
+exposes two access styles:
+
+* indexed access (``read_cell`` / ``write_cell``) used by the conventional
+  RAM model after it has decoded the binary address, and
+* select-line access (``read_selected`` / ``write_selected``) used by the
+  address decoder-decoupled memory, where the caller supplies the raw
+  row-select and column-select vectors.
+
+The select-line path enforces the safety property the paper's conclusion
+highlights: if more than one row (or column) select line is asserted the
+write would short multiple cells together, so the model raises
+:class:`MultipleSelectError` instead of silently corrupting data.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = ["MemoryCellArray", "MultipleSelectError"]
+
+
+class MultipleSelectError(Exception):
+    """Raised when more than one select line of a dimension is asserted."""
+
+
+class MemoryCellArray:
+    """A ``rows x cols`` array of single-word storage cells.
+
+    Parameters
+    ----------
+    rows, cols:
+        Physical dimensions of the array (``2^m`` by ``2^n`` in the paper's
+        Figures 1 and 2, although powers of two are not required here).
+    fill:
+        Initial content of every cell.
+    """
+
+    def __init__(self, rows: int, cols: int, fill: int = 0):
+        if rows < 1 or cols < 1:
+            raise ValueError(f"array dimensions must be positive, got {rows}x{cols}")
+        self.rows = rows
+        self.cols = cols
+        self._cells: List[List[int]] = [[fill] * cols for _ in range(rows)]
+        self.read_count = 0
+        self.write_count = 0
+
+    # ----------------------------------------------------------- index access
+    def read_cell(self, row: int, col: int) -> int:
+        """Read the cell at (``row``, ``col``)."""
+        self._check_index(row, col)
+        self.read_count += 1
+        return self._cells[row][col]
+
+    def write_cell(self, row: int, col: int, value: int) -> None:
+        """Write ``value`` to the cell at (``row``, ``col``)."""
+        self._check_index(row, col)
+        self.write_count += 1
+        self._cells[row][col] = value
+
+    # ------------------------------------------------------ select-line access
+    def read_selected(self, row_select: Sequence[int], col_select: Sequence[int]) -> int:
+        """Read the cell addressed by one-hot row/column select vectors."""
+        row = self._decode_select(row_select, self.rows, "row")
+        col = self._decode_select(col_select, self.cols, "column")
+        return self.read_cell(row, col)
+
+    def write_selected(
+        self, row_select: Sequence[int], col_select: Sequence[int], value: int
+    ) -> None:
+        """Write ``value`` to the cell addressed by one-hot select vectors."""
+        row = self._decode_select(row_select, self.rows, "row")
+        col = self._decode_select(col_select, self.cols, "column")
+        self.write_cell(row, col, value)
+
+    # -------------------------------------------------------------- utilities
+    def snapshot(self) -> List[List[int]]:
+        """Return a copy of the whole array contents."""
+        return [list(row) for row in self._cells]
+
+    def load(self, contents: Sequence[Sequence[int]]) -> None:
+        """Replace the array contents from a ``rows x cols`` nested sequence."""
+        if len(contents) != self.rows or any(len(r) != self.cols for r in contents):
+            raise ValueError(
+                f"contents shape does not match {self.rows}x{self.cols} array"
+            )
+        self._cells = [list(row) for row in contents]
+
+    def _check_index(self, row: int, col: int) -> None:
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise IndexError(f"cell ({row},{col}) outside {self.rows}x{self.cols} array")
+
+    @staticmethod
+    def _decode_select(select: Sequence[int], expected: int, what: str) -> int:
+        if len(select) != expected:
+            raise ValueError(
+                f"{what}-select vector has {len(select)} lines, expected {expected}"
+            )
+        asserted = [i for i, bit in enumerate(select) if bit]
+        if len(asserted) > 1:
+            raise MultipleSelectError(
+                f"multiple {what}-select lines asserted: {asserted}"
+            )
+        if not asserted:
+            raise MultipleSelectError(f"no {what}-select line asserted")
+        return asserted[0]

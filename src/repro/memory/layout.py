@@ -1,0 +1,101 @@
+"""Data organisation within the memory cell array.
+
+Section 5 of the paper notes that "data organization within the memory cell
+array can greatly affect the available regularity at the RowAS and ColAS
+level" and assumes a row-major mapping for its examples (``RA = I0``,
+``CA = I1``, ``LA = I0 * img_width + I1``).  This module makes that mapping
+an explicit, swappable object so that the effect of alternative organisations
+(column-major, blocked) on mappability and on the resulting SRAG cost can be
+studied -- the design-space knob the paper leaves to future work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+__all__ = ["DataLayout", "ROW_MAJOR", "COLUMN_MAJOR", "BlockedLayout"]
+
+
+@dataclass
+class DataLayout:
+    """A bijection between 2-D array indices and physical (row, column) cells.
+
+    Attributes
+    ----------
+    name:
+        Layout name used in reports.
+    to_rowcol:
+        Maps ``(i0, i1, rows, cols)`` to the physical ``(row, col)``.
+    """
+
+    name: str
+    to_rowcol: Callable[[int, int, int, int], Tuple[int, int]]
+
+    def rowcol(self, i0: int, i1: int, rows: int, cols: int) -> Tuple[int, int]:
+        """Physical (row, column) of logical element ``[i0][i1]``."""
+        if not (0 <= i0 < rows and 0 <= i1 < cols):
+            raise IndexError(f"index ({i0},{i1}) outside {rows}x{cols} array")
+        row, col = self.to_rowcol(i0, i1, rows, cols)
+        if not (0 <= row < rows and 0 <= col < cols):
+            raise ValueError(
+                f"layout {self.name!r} mapped ({i0},{i1}) outside the physical array"
+            )
+        return row, col
+
+    def linear(self, i0: int, i1: int, rows: int, cols: int) -> int:
+        """Linear (word) address of logical element ``[i0][i1]``.
+
+        The linear address follows the physical placement:
+        ``row * cols + col``, matching the paper's ``LA = I0*img_width + I1``
+        for the row-major layout.
+        """
+        row, col = self.rowcol(i0, i1, rows, cols)
+        return row * cols + col
+
+    def linear_to_rowcol(self, address: int, rows: int, cols: int) -> Tuple[int, int]:
+        """Split a linear address into its physical (row, column)."""
+        if not (0 <= address < rows * cols):
+            raise IndexError(f"linear address {address} outside {rows}x{cols} array")
+        return divmod(address, cols)
+
+
+def _column_major(i0: int, i1: int, rows: int, cols: int) -> Tuple[int, int]:
+    """Place element [i0][i1] at linear address ``i1*rows + i0``."""
+    return divmod(i1 * rows + i0, cols)
+
+
+ROW_MAJOR = DataLayout("row_major", lambda i0, i1, rows, cols: (i0, i1))
+COLUMN_MAJOR = DataLayout("column_major", _column_major)
+
+
+class BlockedLayout(DataLayout):
+    """A block (tiled) layout.
+
+    The array is divided into ``block_rows x block_cols`` tiles laid out in
+    raster order; elements inside a tile stay in raster order.  Blocked
+    layouts turn block-based access patterns (such as the macroblock reads of
+    the motion-estimation kernel) into *incremental* linear sequences, which
+    is one of the data-organisation optimisations the paper's future-work
+    section anticipates.
+    """
+
+    def __init__(self, block_rows: int, block_cols: int):
+        if block_rows < 1 or block_cols < 1:
+            raise ValueError("block dimensions must be positive")
+        self.block_rows = block_rows
+        self.block_cols = block_cols
+
+        def to_rowcol(i0: int, i1: int, rows: int, cols: int) -> Tuple[int, int]:
+            if rows % block_rows or cols % block_cols:
+                raise ValueError(
+                    f"{rows}x{cols} array is not divisible into "
+                    f"{block_rows}x{block_cols} blocks"
+                )
+            blocks_per_row = cols // block_cols
+            block_index = (i0 // block_rows) * blocks_per_row + (i1 // block_cols)
+            within = (i0 % block_rows) * block_cols + (i1 % block_cols)
+            linear = block_index * (block_rows * block_cols) + within
+            return divmod(linear, cols)
+
+        super().__init__(name=f"blocked_{block_rows}x{block_cols}", to_rowcol=to_rowcol)

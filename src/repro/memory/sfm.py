@@ -1,0 +1,104 @@
+"""Sequential FIFO Memory (Aloqeely, ISCAS 1998; Figure 6 of the paper).
+
+The SFM is the prior art the SRAG improves on: a one-dimensional memory
+whose address decoder is replaced by two one-hot ("one-bit") shift registers,
+a head-pointer register selecting the cell to read and a tail-pointer
+register selecting the cell to write.  The paper lists its limitations --
+one-dimensional organisation, one-hot encoding, FIFO-only access -- which the
+SRAG lifts; this model exists so those limitations can be demonstrated and so
+the ``fifo`` row of Table 3 has a faithful functional reference.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+__all__ = ["SequentialFifoMemory"]
+
+
+class SequentialFifoMemory:
+    """A FIFO memory with head/tail pointer shift registers.
+
+    Parameters
+    ----------
+    depth:
+        Number of memory cells (and of flip-flops in each pointer register).
+    """
+
+    def __init__(self, depth: int):
+        if depth < 1:
+            raise ValueError(f"SFM depth must be positive, got {depth}")
+        self.depth = depth
+        self._cells: List[Optional[int]] = [None] * depth
+        # One-hot pointer registers; the token marks the next cell to use.
+        self._head = 0  # next cell to read
+        self._tail = 0  # next cell to write
+        self._occupancy = 0
+
+    # -------------------------------------------------------------- pointers
+    @property
+    def head_pointer(self) -> List[int]:
+        """Current one-hot head (read) pointer vector."""
+        return [1 if i == self._head else 0 for i in range(self.depth)]
+
+    @property
+    def tail_pointer(self) -> List[int]:
+        """Current one-hot tail (write) pointer vector."""
+        return [1 if i == self._tail else 0 for i in range(self.depth)]
+
+    @property
+    def occupancy(self) -> int:
+        """Number of words currently stored."""
+        return self._occupancy
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no data is stored."""
+        return self._occupancy == 0
+
+    @property
+    def is_full(self) -> bool:
+        """True when every cell holds live data."""
+        return self._occupancy == self.depth
+
+    # ----------------------------------------------------------------- access
+    def push(self, value: int) -> None:
+        """Write ``value`` at the tail pointer and advance the tail register."""
+        if self.is_full:
+            raise OverflowError("SFM is full")
+        self._cells[self._tail] = value
+        self._tail = (self._tail + 1) % self.depth
+        self._occupancy += 1
+
+    def pop(self) -> int:
+        """Read the value at the head pointer and advance the head register."""
+        if self.is_empty:
+            raise IndexError("SFM is empty")
+        value = self._cells[self._head]
+        assert value is not None
+        self._cells[self._head] = None
+        self._head = (self._head + 1) % self.depth
+        self._occupancy -= 1
+        return value
+
+    def reset(self) -> None:
+        """Return both pointer registers to cell 0 and drop all contents."""
+        self._cells = [None] * self.depth
+        self._head = 0
+        self._tail = 0
+        self._occupancy = 0
+
+    # ----------------------------------------------------------- limitations
+    def supports_access_pattern(self, sequence: List[int]) -> bool:
+        """Whether the SFM can serve ``sequence`` as its *read* order.
+
+        The SFM can only produce first-in first-out access: the read sequence
+        must visit cells in the same cyclic incremental order the writes used.
+        This check makes the paper's "cannot be applied to other types of
+        address sequences such as block access" limitation executable.
+        """
+        if not sequence:
+            return True
+        start = sequence[0]
+        expected = [(start + i) % self.depth for i in range(len(sequence))]
+        return list(sequence) == expected

@@ -1,0 +1,57 @@
+"""Top-level synthesis flow.
+
+``run_synthesis_flow`` is the stand-in for "synthesise this design with
+Design Compiler and read area/delay off the report": it validates the
+netlist, inserts buffer trees on high-fanout nets, and runs static timing
+analysis and area accounting against the chosen standard-cell library.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.hdl.netlist import Netlist
+from repro.synth.area import area_report
+from repro.synth.buffering import insert_buffer_trees
+from repro.synth.cell_library import CellLibrary, STD018
+from repro.synth.report import SynthesisResult
+from repro.synth.timing import timing_report
+
+__all__ = ["run_synthesis_flow"]
+
+
+def run_synthesis_flow(
+    netlist: Netlist,
+    *,
+    library: CellLibrary = STD018,
+    max_fanout: int = 8,
+    name: Optional[str] = None,
+    metadata: Optional[Dict[str, object]] = None,
+) -> SynthesisResult:
+    """Buffer, time and measure ``netlist``; return a :class:`SynthesisResult`.
+
+    Parameters
+    ----------
+    netlist:
+        The design to evaluate.  The netlist is modified in place by buffer
+        insertion (as a synthesis tool would modify its working copy).
+    library:
+        Standard-cell characterisation to use.
+    max_fanout:
+        Maximum fanout allowed before a buffer tree is inserted.
+    name:
+        Report name; defaults to the netlist name.
+    metadata:
+        Extra key/value pairs propagated into the result.
+    """
+    netlist.validate()
+    buffers = insert_buffer_trees(netlist, max_fanout=max_fanout)
+    timing = timing_report(netlist, library)
+    area = area_report(netlist, library)
+    return SynthesisResult(
+        name=name or netlist.name,
+        area=area,
+        timing=timing,
+        buffers_inserted=buffers,
+        metadata=dict(metadata or {}),
+    )

@@ -1,0 +1,73 @@
+"""Sum-of-products to netlist mapping.
+
+Turns a minimised cover (a list of :class:`~repro.synth.logic.minimize.Implicant`)
+into AND/OR gate trees inside an existing netlist.  Literal inverters are
+shared across product terms, matching what a technology mapper would do.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.hdl.components.gates import build_and_tree, build_or_tree
+from repro.hdl.netlist import Net, Netlist, NetlistError
+from repro.synth.logic.minimize import Implicant
+
+__all__ = ["sop_to_netlist"]
+
+
+def sop_to_netlist(
+    netlist: Netlist,
+    cover: Sequence[Implicant],
+    inputs: Sequence[Net],
+    *,
+    prefix: str = "sop",
+    inverter_cache: Dict[str, Net] = None,
+) -> Net:
+    """Instantiate the sum-of-products ``cover`` over ``inputs``.
+
+    Parameters
+    ----------
+    cover:
+        Product terms; an empty cover yields constant 0, and a cover
+        containing the universal cube yields constant 1.
+    inputs:
+        Input nets; ``inputs[i]`` corresponds to truth-table variable ``i``.
+    inverter_cache:
+        Optional dict shared across calls so each input is inverted at most
+        once even when several outputs are synthesised over the same inputs.
+
+    Returns
+    -------
+    Net
+        The net carrying the function's output.
+    """
+    if not cover:
+        return netlist.const(0)
+    if inverter_cache is None:
+        inverter_cache = {}
+
+    product_nets: List[Net] = []
+    for index, cube in enumerate(cover):
+        if cube.num_inputs != len(inputs):
+            raise NetlistError(
+                f"cube width {cube.num_inputs} does not match {len(inputs)} inputs"
+            )
+        literal_nets: List[Net] = []
+        for var, positive in cube.literals():
+            if positive:
+                literal_nets.append(inputs[var])
+            else:
+                key = inputs[var].name
+                if key not in inverter_cache:
+                    inverted = netlist.new_net(f"{prefix}_inv{var}_")
+                    netlist.add_cell("INV", A=inputs[var], Y=inverted)
+                    inverter_cache[key] = inverted
+                literal_nets.append(inverter_cache[key])
+        if not literal_nets:
+            # Universal cube: the function is constant 1.
+            return netlist.const(1)
+        product_nets.append(
+            build_and_tree(netlist, literal_nets, prefix=f"{prefix}_p{index}")
+        )
+    return build_or_tree(netlist, product_nets, prefix=f"{prefix}_or")

@@ -1,0 +1,98 @@
+"""Single-output truth tables with don't-cares."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, FrozenSet, Iterable, Set
+
+__all__ = ["TruthTable"]
+
+
+@dataclass(frozen=True)
+class TruthTable:
+    """A single-output Boolean function of ``num_inputs`` variables.
+
+    The function is described by its on-set (input combinations producing 1)
+    and don't-care set (combinations whose output is unconstrained); every
+    other combination is in the off-set.  Input combinations are encoded as
+    integers with bit ``i`` holding the value of input variable ``i``.
+    """
+
+    num_inputs: int
+    on_set: FrozenSet[int] = field(default_factory=frozenset)
+    dc_set: FrozenSet[int] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if self.num_inputs < 0:
+            raise ValueError(f"num_inputs must be >= 0, got {self.num_inputs}")
+        limit = 1 << self.num_inputs
+        for name, minterms in (("on_set", self.on_set), ("dc_set", self.dc_set)):
+            for m in minterms:
+                if not (0 <= m < limit):
+                    raise ValueError(
+                        f"{name} minterm {m} out of range for {self.num_inputs} inputs"
+                    )
+        overlap = self.on_set & self.dc_set
+        if overlap:
+            raise ValueError(f"minterms in both on-set and dc-set: {sorted(overlap)[:5]}")
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def from_minterms(
+        cls,
+        num_inputs: int,
+        on_set: Iterable[int],
+        dc_set: Iterable[int] = (),
+    ) -> "TruthTable":
+        """Build a truth table from explicit minterm lists."""
+        return cls(
+            num_inputs=num_inputs,
+            on_set=frozenset(on_set),
+            dc_set=frozenset(dc_set),
+        )
+
+    @classmethod
+    def from_function(
+        cls, num_inputs: int, fn: Callable[[int], int]
+    ) -> "TruthTable":
+        """Build a truth table by evaluating ``fn`` over all input combinations.
+
+        ``fn`` may return 0, 1, or ``None`` for don't-care.
+        """
+        on: Set[int] = set()
+        dc: Set[int] = set()
+        for minterm in range(1 << num_inputs):
+            value = fn(minterm)
+            if value is None:
+                dc.add(minterm)
+            elif value:
+                on.add(minterm)
+        return cls(num_inputs=num_inputs, on_set=frozenset(on), dc_set=frozenset(dc))
+
+    # ------------------------------------------------------------ queries
+    @property
+    def off_set(self) -> FrozenSet[int]:
+        """Input combinations forced to 0."""
+        universe = set(range(1 << self.num_inputs))
+        return frozenset(universe - set(self.on_set) - set(self.dc_set))
+
+    def evaluate(self, minterm: int) -> int:
+        """Value of the function for a fully-specified input combination.
+
+        Don't-care entries evaluate to 0 (the value a minimiser may or may
+        not preserve; callers that care should check membership directly).
+        """
+        return 1 if minterm in self.on_set else 0
+
+    def is_constant(self) -> bool:
+        """True when the cared-for outputs are all 0 or all 1."""
+        care = (1 << self.num_inputs) - len(self.dc_set)
+        return len(self.on_set) in (0, care)
+
+    def complement(self) -> "TruthTable":
+        """Return the complement function (don't-cares preserved)."""
+        return TruthTable(
+            num_inputs=self.num_inputs,
+            on_set=self.off_set,
+            dc_set=self.dc_set,
+        )

@@ -1,0 +1,59 @@
+"""Synthesis result records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.synth.area import AreaReport
+from repro.synth.timing import TimingReport
+
+__all__ = ["SynthesisResult"]
+
+
+@dataclass
+class SynthesisResult:
+    """Area/delay result for one synthesised design.
+
+    This is the unit of comparison everywhere in the reproduction: every
+    paper figure or table row reduces to comparing ``delay_ns`` and
+    ``area_cells`` of two or more :class:`SynthesisResult` objects.
+
+    Attributes
+    ----------
+    name:
+        Design name (for example ``"srag_read_64x64"``).
+    area:
+        Detailed area report.
+    timing:
+        Detailed timing report.
+    buffers_inserted:
+        Number of buffers added by high-fanout buffering.
+    metadata:
+        Free-form extra data (sequence length, array shape, generator style,
+        mapping parameters) recorded by the experiment harnesses.
+    """
+
+    name: str
+    area: AreaReport
+    timing: TimingReport
+    buffers_inserted: int = 0
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def delay_ns(self) -> float:
+        """Critical-path delay in nanoseconds."""
+        return self.timing.critical_path_delay
+
+    @property
+    def area_cells(self) -> float:
+        """Total area in cell units."""
+        return self.area.total
+
+    def summary(self) -> str:
+        """One-line summary used by the benchmark harnesses."""
+        return (
+            f"{self.name:<28} delay = {self.delay_ns:6.3f} ns   "
+            f"area = {self.area_cells:10.1f} cell units   "
+            f"FFs = {self.area.flip_flop_count}"
+        )

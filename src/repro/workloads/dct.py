@@ -1,0 +1,49 @@
+"""Separable DCT workload (the ``dct`` row of the paper's Table 3).
+
+A separable two-dimensional DCT processes the image in two one-dimensional
+passes: a row pass followed by a column pass over the intermediate result.
+The access sequence that stresses the address generator is the *column-wise*
+(transposed-raster) traversal performed by the second pass -- the row pass is
+an ordinary incremental raster already covered by the ``fifo`` workload.
+The paper does not spell out which array reference its ``dct`` sequence was
+taken from; this interpretation (column-wise traversal of one array) is
+recorded here and in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.loopnest import AffineAccessPattern, AffineExpression, Loop
+from repro.workloads.sequences import AddressSequence
+
+__all__ = ["column_pass_pattern", "column_pass_sequence", "row_pass_pattern"]
+
+
+def column_pass_pattern(img_width: int = 8, img_height: int = 8) -> AffineAccessPattern:
+    """Column-wise (transposed raster) traversal used by the DCT column pass."""
+    loops = [Loop("c", 0, img_width), Loop("r", 0, img_height)]
+    return AffineAccessPattern(
+        name=f"dct_col_pass_{img_height}x{img_width}",
+        loops=loops,
+        row_expr=AffineExpression.build({"r": 1}),
+        col_expr=AffineExpression.build({"c": 1}),
+        rows=img_height,
+        cols=img_width,
+    )
+
+
+def row_pass_pattern(img_width: int = 8, img_height: int = 8) -> AffineAccessPattern:
+    """Row-wise raster traversal used by the DCT row pass."""
+    loops = [Loop("r", 0, img_height), Loop("c", 0, img_width)]
+    return AffineAccessPattern(
+        name=f"dct_row_pass_{img_height}x{img_width}",
+        loops=loops,
+        row_expr=AffineExpression.build({"r": 1}),
+        col_expr=AffineExpression.build({"c": 1}),
+        rows=img_height,
+        cols=img_width,
+    )
+
+
+def column_pass_sequence(img_width: int = 8, img_height: int = 8) -> AddressSequence:
+    """The DCT column-pass access sequence as an :class:`AddressSequence`."""
+    return column_pass_pattern(img_width, img_height).to_sequence()

@@ -1,0 +1,45 @@
+"""FIFO / incremental workload (the ``fifo`` row of the paper's Table 3).
+
+An incremental linear address sequence ``0, 1, 2, ..., N-1``: the write order
+the paper assumes for ``new_img`` and the access order of a FIFO buffer.
+This is also the sequence used for the Section 3 comparison between the
+symbolic state machine and the plain shift register (Figures 3 and 4).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.loopnest import AffineAccessPattern, AffineExpression, Loop
+from repro.workloads.sequences import AddressSequence
+
+__all__ = ["fifo_pattern", "fifo_sequence", "incremental_sequence"]
+
+
+def fifo_pattern(img_width: int = 4, img_height: int = 4) -> AffineAccessPattern:
+    """Incremental raster access over a ``img_height x img_width`` array."""
+    loops = [Loop("r", 0, img_height), Loop("c", 0, img_width)]
+    return AffineAccessPattern(
+        name=f"fifo_{img_height}x{img_width}",
+        loops=loops,
+        row_expr=AffineExpression.build({"r": 1}),
+        col_expr=AffineExpression.build({"c": 1}),
+        rows=img_height,
+        cols=img_width,
+    )
+
+
+def fifo_sequence(img_width: int = 4, img_height: int = 4) -> AddressSequence:
+    """The FIFO sequence over a 2-D array as an :class:`AddressSequence`."""
+    return fifo_pattern(img_width, img_height).to_sequence()
+
+
+def incremental_sequence(length: int) -> AddressSequence:
+    """A one-dimensional incremental sequence ``0..length-1``.
+
+    Used by the Section 3 experiments (Figures 3 and 4), which compare
+    address-generator implementations for a single row of select lines.
+    """
+    if length < 1:
+        raise ValueError(f"length must be positive, got {length}")
+    return AddressSequence.from_linear(
+        f"incremental_{length}", list(range(length)), rows=1, cols=length
+    )

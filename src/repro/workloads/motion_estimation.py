@@ -1,0 +1,116 @@
+"""Block-matching motion-estimation workload (paper Figure 7 and Table 1).
+
+The paper's running example is the access pattern of the ``new_img`` array in
+the full-search block-matching kernel of Figure 7.  With ``m = 0`` (the value
+used throughout the paper) the search loops contribute a single iteration and
+the read order visits the current macroblock row by row, macroblock by
+macroblock -- the "block access" pattern the SRAG targets.  The write order
+is not defined by the kernel; following Section 6 we assume the production
+order makes the linear address sequence incremental.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.loopnest import AffineAccessPattern, AffineExpression, Loop
+from repro.workloads.sequences import AddressSequence
+
+__all__ = [
+    "new_img_read_pattern",
+    "new_img_write_pattern",
+    "read_sequence",
+    "write_sequence",
+]
+
+
+def new_img_read_pattern(
+    img_width: int = 4,
+    img_height: int = 4,
+    mb_width: int = 2,
+    mb_height: int = 2,
+    search_range: int = 0,
+) -> AffineAccessPattern:
+    """Access pattern of ``new_img`` reads in the block-matching kernel.
+
+    Parameters
+    ----------
+    img_width, img_height:
+        Image (and memory array) dimensions.
+    mb_width, mb_height:
+        Macroblock dimensions; must divide the image dimensions.
+    search_range:
+        The paper's ``m``.  The kernel repeats the macroblock read once per
+        candidate displacement; with ``m = 0`` (the paper's setting) the
+        macroblock is read exactly once per block position.
+
+    Returns
+    -------
+    AffineAccessPattern
+        ``new_img[g*mb_height + k][h*mb_width + l]`` inside the
+        ``g, h, (i, j), k, l`` nest of Figure 7.
+    """
+    if img_width % mb_width or img_height % mb_height:
+        raise ValueError(
+            f"macroblock {mb_height}x{mb_width} does not tile image "
+            f"{img_height}x{img_width}"
+        )
+    if search_range < 0:
+        raise ValueError(f"search range must be non-negative, got {search_range}")
+    search_trips = max(1, 2 * search_range)
+
+    loops = [
+        Loop("g", 0, img_height // mb_height),
+        Loop("h", 0, img_width // mb_width),
+        Loop("i", 0, search_trips),
+        Loop("j", 0, search_trips),
+        Loop("k", 0, mb_height),
+        Loop("l", 0, mb_width),
+    ]
+    row_expr = AffineExpression.build({"g": mb_height, "k": 1})
+    col_expr = AffineExpression.build({"h": mb_width, "l": 1})
+    return AffineAccessPattern(
+        name=f"motion_est_read_{img_height}x{img_width}",
+        loops=loops,
+        row_expr=row_expr,
+        col_expr=col_expr,
+        rows=img_height,
+        cols=img_width,
+    )
+
+
+def new_img_write_pattern(img_width: int = 4, img_height: int = 4) -> AffineAccessPattern:
+    """Assumed production (write) order of ``new_img``: an incremental raster.
+
+    Section 6: "we assume that the write sequence is such that LinAS is
+    incremental (i.e. 0, 1, 2, ..., N)".
+    """
+    loops = [Loop("r", 0, img_height), Loop("c", 0, img_width)]
+    return AffineAccessPattern(
+        name=f"motion_est_write_{img_height}x{img_width}",
+        loops=loops,
+        row_expr=AffineExpression.build({"r": 1}),
+        col_expr=AffineExpression.build({"c": 1}),
+        rows=img_height,
+        cols=img_width,
+    )
+
+
+def read_sequence(
+    img_width: int = 4,
+    img_height: int = 4,
+    mb_width: int = 2,
+    mb_height: int = 2,
+    search_range: int = 0,
+) -> AddressSequence:
+    """The ``new_img`` read sequence as an :class:`AddressSequence`.
+
+    With the default parameters this reproduces Table 1 of the paper:
+    ``LinAS = 0,1,4,5,2,3,6,7,8,9,12,13,10,11,14,15``.
+    """
+    return new_img_read_pattern(
+        img_width, img_height, mb_width, mb_height, search_range
+    ).to_sequence()
+
+
+def write_sequence(img_width: int = 4, img_height: int = 4) -> AddressSequence:
+    """The assumed incremental write sequence for ``new_img``."""
+    return new_img_write_pattern(img_width, img_height).to_sequence()

@@ -1,0 +1,135 @@
+"""Additional synthetic access patterns.
+
+These patterns are not taken from the paper's evaluation but widen the design
+space the library can explore: some of them map cleanly onto the SRAG
+(strided, block raster, interleaved), others deliberately violate its DivCnt
+or PassCnt restrictions (serpentine, random) so that the mapper's failure
+behaviour and the fall-back generators can be exercised.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.workloads.loopnest import AffineAccessPattern, AffineExpression, Loop
+from repro.workloads.sequences import AddressSequence
+
+__all__ = [
+    "strided_pattern",
+    "block_raster_pattern",
+    "interleaved_row_pattern",
+    "serpentine_sequence",
+    "repeated_sequence",
+    "lcg_sequence",
+]
+
+
+def strided_pattern(rows: int, cols: int, row_stride: int = 1) -> AffineAccessPattern:
+    """Raster access visiting every ``row_stride``-th row, then the rest.
+
+    For ``row_stride = 2`` this is the field (interlaced) access order of
+    video material: even rows first, then odd rows.
+    """
+    if rows % row_stride:
+        raise ValueError(f"row stride {row_stride} does not divide {rows} rows")
+    loops = [
+        Loop("f", 0, row_stride),
+        Loop("r", 0, rows // row_stride),
+        Loop("c", 0, cols),
+    ]
+    return AffineAccessPattern(
+        name=f"strided{row_stride}_{rows}x{cols}",
+        loops=loops,
+        row_expr=AffineExpression.build({"r": row_stride, "f": 1}),
+        col_expr=AffineExpression.build({"c": 1}),
+        rows=rows,
+        cols=cols,
+    )
+
+
+def block_raster_pattern(
+    rows: int, cols: int, block_rows: int, block_cols: int
+) -> AffineAccessPattern:
+    """Visit the array block by block, raster order inside each block.
+
+    This is the generalisation of the motion-estimation read pattern to an
+    arbitrary block size.
+    """
+    if rows % block_rows or cols % block_cols:
+        raise ValueError(
+            f"block {block_rows}x{block_cols} does not tile array {rows}x{cols}"
+        )
+    loops = [
+        Loop("bg", 0, rows // block_rows),
+        Loop("bh", 0, cols // block_cols),
+        Loop("k", 0, block_rows),
+        Loop("l", 0, block_cols),
+    ]
+    return AffineAccessPattern(
+        name=f"block{block_rows}x{block_cols}_{rows}x{cols}",
+        loops=loops,
+        row_expr=AffineExpression.build({"bg": block_rows, "k": 1}),
+        col_expr=AffineExpression.build({"bh": block_cols, "l": 1}),
+        rows=rows,
+        cols=cols,
+    )
+
+
+def interleaved_row_pattern(rows: int, cols: int, repeat: int = 2) -> AffineAccessPattern:
+    """Read every row ``repeat`` times before moving to the next row.
+
+    Typical of vertical filtering with a small reuse window.
+    """
+    loops = [Loop("r", 0, rows), Loop("p", 0, repeat), Loop("c", 0, cols)]
+    return AffineAccessPattern(
+        name=f"rowrepeat{repeat}_{rows}x{cols}",
+        loops=loops,
+        row_expr=AffineExpression.build({"r": 1}),
+        col_expr=AffineExpression.build({"c": 1}),
+        rows=rows,
+        cols=cols,
+    )
+
+
+def serpentine_sequence(rows: int, cols: int) -> AddressSequence:
+    """Boustrophedon (serpentine) raster: alternate rows reverse direction.
+
+    The column order reverses every row, so the column address sequence is
+    *not* expressible with a single PassCnt/DivCnt pair -- a useful negative
+    test for the SRAG mapper.
+    """
+    indices = []
+    for r in range(rows):
+        columns = range(cols) if r % 2 == 0 else range(cols - 1, -1, -1)
+        indices.extend((r, c) for c in columns)
+    return AddressSequence.from_indices(
+        f"serpentine_{rows}x{cols}", indices, rows, cols
+    )
+
+
+def repeated_sequence(base: Sequence[int], repeats_per_address: int, rows: int, cols: int,
+                      name: Optional[str] = None) -> AddressSequence:
+    """Repeat every address of ``base`` ``repeats_per_address`` times in place."""
+    if repeats_per_address < 1:
+        raise ValueError("repeats_per_address must be >= 1")
+    linear: List[int] = []
+    for address in base:
+        linear.extend([address] * repeats_per_address)
+    return AddressSequence.from_linear(
+        name or f"repeat{repeats_per_address}", linear, rows, cols
+    )
+
+
+def lcg_sequence(length: int, rows: int, cols: int, seed: int = 1) -> AddressSequence:
+    """A deterministic pseudo-random sequence (linear congruential generator).
+
+    Irregular sequences like this one are exactly what the SRAG is *not* for;
+    they exercise the mapper's rejection path and the FSM/CntAG fall-backs.
+    """
+    size = rows * cols
+    state = seed
+    linear = []
+    for _ in range(length):
+        state = (state * 1103515245 + 12345) % (2 ** 31)
+        linear.append(state % size)
+    return AddressSequence.from_linear(f"lcg_{length}", linear, rows, cols)

@@ -1,0 +1,55 @@
+"""Image zoom workload (the ``zoombytwo`` row of the paper's Table 3).
+
+Zooming an image by an integer factor with nearest-neighbour replication
+reads each source pixel ``factor`` times along each axis while rasterising
+the output image.  The resulting source-array read sequence repeats each
+column address ``factor`` times consecutively and each row address
+``factor * output_width`` times -- a pattern that maps onto the SRAG with
+small division counters, which is why the paper includes it.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.loopnest import AffineAccessPattern, AffineExpression, Loop
+from repro.workloads.sequences import AddressSequence
+
+__all__ = ["zoom_read_pattern", "zoom_read_sequence"]
+
+
+def zoom_read_pattern(
+    src_width: int = 4,
+    src_height: int = 4,
+    factor: int = 2,
+) -> AffineAccessPattern:
+    """Source-image read pattern when zooming by ``factor``.
+
+    The output raster loop ``(oi, oj)`` is expressed as the equivalent
+    four-deep nest ``(i, di, j, dj)`` with ``oi = i*factor + di`` and
+    ``oj = j*factor + dj`` so the source row/column indices (``i``/``j``)
+    stay affine in the loop variables.
+    """
+    if factor < 1:
+        raise ValueError(f"zoom factor must be >= 1, got {factor}")
+    loops = [
+        Loop("i", 0, src_height),
+        Loop("di", 0, factor),
+        Loop("j", 0, src_width),
+        Loop("dj", 0, factor),
+    ]
+    return AffineAccessPattern(
+        name=f"zoomby{factor}_{src_height}x{src_width}",
+        loops=loops,
+        row_expr=AffineExpression.build({"i": 1}),
+        col_expr=AffineExpression.build({"j": 1}),
+        rows=src_height,
+        cols=src_width,
+    )
+
+
+def zoom_read_sequence(
+    src_width: int = 4,
+    src_height: int = 4,
+    factor: int = 2,
+) -> AddressSequence:
+    """The zoom read sequence as an :class:`AddressSequence`."""
+    return zoom_read_pattern(src_width, src_height, factor).to_sequence()

@@ -1,0 +1,81 @@
+"""Tests for the VHDL / Verilog / DOT emitters."""
+
+import pytest
+
+from repro.core.addm_generator import SragAddressGenerator
+from repro.hdl.components import build_binary_counter
+from repro.hdl.emit import emit_dot, emit_verilog, emit_vhdl
+from repro.hdl.netlist import Netlist
+from repro.workloads.motion_estimation import read_sequence
+
+
+def _small_design():
+    netlist = Netlist("small_counter")
+    clk = netlist.add_input("clk")
+    en = netlist.add_input("next")
+    rst = netlist.add_input("reset")
+    counter = build_binary_counter(netlist, 5, clk, enable=en, reset=rst)
+    netlist.add_output_bus("count", counter.count)
+    return netlist
+
+
+def test_vhdl_contains_entity_and_ports():
+    text = emit_vhdl(_small_design())
+    assert "entity small_counter is" in text
+    assert "architecture structural of small_counter" in text
+    assert "clk : in std_logic" in text
+    assert "count_0 : out std_logic" in text
+    # Every used primitive gets a behavioural entity in the same file.
+    assert "entity repro_dff_en_rst is" in text
+    assert text.count("port map") == len(_small_design().cells)
+
+
+def test_vhdl_without_primitives_is_shorter():
+    netlist = _small_design()
+    full = emit_vhdl(netlist, include_primitives=True)
+    bare = emit_vhdl(netlist, include_primitives=False)
+    assert len(bare) < len(full)
+    assert "entity repro_inv" not in bare
+
+
+def test_verilog_contains_module_and_instances():
+    netlist = _small_design()
+    text = emit_verilog(netlist)
+    assert "module small_counter(" in text
+    assert "input clk;" in text
+    assert "output count_0;" in text
+    assert "module repro_dff_en_rst(" in text
+    assert "endmodule" in text
+
+
+def test_verilog_balanced_modules():
+    text = emit_verilog(_small_design())
+    assert text.count("module ") - text.count("endmodule") == 0
+
+
+def test_dot_output_mentions_cells_and_ports():
+    netlist = _small_design()
+    text = emit_dot(netlist)
+    assert text.startswith('digraph "small_counter"')
+    assert text.rstrip().endswith("}")
+    for cell_name in list(netlist.cells)[:3]:
+        assert cell_name in text
+
+
+def test_emitters_on_generated_srag():
+    generator = SragAddressGenerator.from_sequence(read_sequence())
+    vhdl = emit_vhdl(generator.netlist)
+    verilog = emit_verilog(generator.netlist)
+    assert "rs_0" in vhdl and "cs_0" in vhdl
+    assert "rs_0" in verilog and "cs_0" in verilog
+    # The generated HDL should mention the multiplexors of the SRAG muxes.
+    assert "repro_mux2" in vhdl.lower()
+
+
+def test_emit_validates_netlist():
+    netlist = Netlist("broken")
+    floating = netlist.new_net("floating")
+    y = netlist.new_net("y")
+    netlist.add_cell("INV", A=floating, Y=y)
+    with pytest.raises(Exception):
+        emit_vhdl(netlist)

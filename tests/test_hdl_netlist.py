@@ -1,0 +1,152 @@
+"""Unit tests for the netlist representation."""
+
+import pytest
+
+from repro.hdl.netlist import Bus, Netlist, NetlistError
+
+
+def test_net_creation_and_lookup():
+    netlist = Netlist("t")
+    a = netlist.net("a")
+    assert netlist.net("a") is a
+    assert a.name == "a"
+    assert not a.has_driver
+
+
+def test_new_net_names_are_unique():
+    netlist = Netlist("t")
+    names = {netlist.new_net("n").name for _ in range(100)}
+    assert len(names) == 100
+
+
+def test_invalid_names_rejected():
+    with pytest.raises(NetlistError):
+        Netlist("1bad")
+    netlist = Netlist("t")
+    with pytest.raises(NetlistError):
+        netlist.net("bad name")
+
+
+def test_bus_indexing_and_width():
+    netlist = Netlist("t")
+    bus = netlist.bus(8, "data")
+    assert bus.width == 8
+    assert len(bus) == 8
+    assert bus[0] is bus.bits()[0]
+    assert isinstance(bus[2:5], Bus)
+    assert bus[2:5].width == 3
+
+
+def test_add_input_and_output():
+    netlist = Netlist("t")
+    a = netlist.add_input("a")
+    assert a.is_input
+    y = netlist.new_net("y")
+    netlist.add_cell("INV", A=a, Y=y)
+    netlist.add_output("out", y)
+    assert netlist.inputs == {"a": a}
+    assert netlist.outputs["out"] is y
+
+
+def test_duplicate_output_rejected():
+    netlist = Netlist("t")
+    a = netlist.add_input("a")
+    netlist.add_output("o", a)
+    with pytest.raises(NetlistError):
+        netlist.add_output("o", a)
+
+
+def test_add_cell_checks_pins():
+    netlist = Netlist("t")
+    a = netlist.add_input("a")
+    y = netlist.new_net("y")
+    with pytest.raises(NetlistError):
+        netlist.add_cell("INV", A=a)  # missing Y
+    with pytest.raises(NetlistError):
+        netlist.add_cell("INV", A=a, Y=y, Z=a)  # unknown pin
+    with pytest.raises(NetlistError):
+        netlist.add_cell("NOSUCHCELL", A=a, Y=y)
+
+
+def test_double_driver_rejected():
+    netlist = Netlist("t")
+    a = netlist.add_input("a")
+    y = netlist.new_net("y")
+    netlist.add_cell("INV", A=a, Y=y)
+    with pytest.raises(NetlistError):
+        netlist.add_cell("BUF", A=a, Y=y)
+
+
+def test_driving_an_input_rejected():
+    netlist = Netlist("t")
+    a = netlist.add_input("a")
+    with pytest.raises(NetlistError):
+        netlist.add_cell("INV", A=a, Y=a)
+
+
+def test_const_and_const_bus():
+    netlist = Netlist("t")
+    one = netlist.const(1)
+    zero = netlist.const(0)
+    assert one.driver[0].cell_type == "TIE1"
+    assert zero.driver[0].cell_type == "TIE0"
+    bus = netlist.const_bus(5, 4)
+    types = [bit.driver[0].cell_type for bit in bus]
+    assert types == ["TIE1", "TIE0", "TIE1", "TIE0"]
+    with pytest.raises(NetlistError):
+        netlist.const_bus(16, 4)
+    with pytest.raises(NetlistError):
+        netlist.const(2)
+
+
+def test_validate_detects_undriven_nets():
+    netlist = Netlist("t")
+    floating = netlist.new_net("floating")
+    y = netlist.new_net("y")
+    netlist.add_cell("INV", A=floating, Y=y)
+    with pytest.raises(NetlistError):
+        netlist.validate()
+
+
+def test_stats_and_cell_queries():
+    netlist = Netlist("t")
+    a = netlist.add_input("a")
+    clk = netlist.add_input("clk")
+    y = netlist.new_net("y")
+    q = netlist.new_net("q")
+    netlist.add_cell("INV", A=a, Y=y)
+    netlist.add_cell("DFF", D=y, CLK=clk, Q=q)
+    stats = netlist.stats()
+    assert stats["INV"] == 1
+    assert stats["DFF"] == 1
+    assert stats["_flip_flops"] == 1
+    assert len(netlist.sequential_cells()) == 1
+    assert len(netlist.combinational_cells()) == 1
+
+
+def test_topological_order_respects_dependencies():
+    netlist = Netlist("t")
+    a = netlist.add_input("a")
+    n1 = netlist.new_net("n1")
+    n2 = netlist.new_net("n2")
+    c1 = netlist.add_cell("INV", A=a, Y=n1)
+    c2 = netlist.add_cell("INV", A=n1, Y=n2)
+    order = netlist.topological_combinational_order()
+    assert order.index(c1) < order.index(c2)
+
+
+def test_combinational_loop_detected():
+    netlist = Netlist("t")
+    n1 = netlist.new_net("n1")
+    n2 = netlist.new_net("n2")
+    netlist.add_cell("INV", A=n1, Y=n2)
+    netlist.add_cell("INV", A=n2, Y=n1)
+    with pytest.raises(NetlistError):
+        netlist.topological_combinational_order()
+
+
+def test_output_bus_names():
+    netlist = Netlist("t")
+    bus = Bus([netlist.const(1), netlist.const(0)])
+    netlist.add_output_bus("sel", bus)
+    assert set(netlist.outputs) == {"sel_0", "sel_1"}

@@ -1,0 +1,100 @@
+"""Unit tests for the primitive cell vocabulary."""
+
+import itertools
+
+import pytest
+
+from repro.hdl.primitives import (
+    PRIMITIVES,
+    combinational_eval,
+    flop_next_state,
+    is_sequential,
+)
+
+
+def test_registry_contains_expected_families():
+    for name in ("INV", "BUF", "NAND2", "NOR3", "AND4", "XOR2", "MUX2", "DFF",
+                 "DFF_EN_RST", "DFF_EN_SET", "TIE0", "TIE1", "AOI21", "OAI21"):
+        assert name in PRIMITIVES
+
+
+def test_is_sequential_classification():
+    assert is_sequential("DFF")
+    assert is_sequential("DFF_EN_RST")
+    assert not is_sequential("NAND2")
+
+
+@pytest.mark.parametrize("a", [0, 1])
+def test_inverter_and_buffer(a):
+    assert combinational_eval("INV", {"A": a})["Y"] == (1 - a)
+    assert combinational_eval("BUF", {"A": a})["Y"] == a
+
+
+@pytest.mark.parametrize("n", [2, 3, 4])
+def test_and_or_nand_nor_truthfulness(n):
+    pins = ["A", "B", "C", "D"][:n]
+    for values in itertools.product([0, 1], repeat=n):
+        assignment = dict(zip(pins, values))
+        assert combinational_eval(f"AND{n}", assignment)["Y"] == int(all(values))
+        assert combinational_eval(f"NAND{n}", assignment)["Y"] == int(not all(values))
+        assert combinational_eval(f"OR{n}", assignment)["Y"] == int(any(values))
+        assert combinational_eval(f"NOR{n}", assignment)["Y"] == int(not any(values))
+
+
+def test_xor_xnor_mux():
+    for a, b in itertools.product([0, 1], repeat=2):
+        assert combinational_eval("XOR2", {"A": a, "B": b})["Y"] == (a ^ b)
+        assert combinational_eval("XNOR2", {"A": a, "B": b})["Y"] == (1 - (a ^ b))
+    for a, b, s in itertools.product([0, 1], repeat=3):
+        expected = b if s else a
+        assert combinational_eval("MUX2", {"A": a, "B": b, "S": s})["Y"] == expected
+
+
+def test_aoi_oai():
+    for a, b, c in itertools.product([0, 1], repeat=3):
+        assert combinational_eval("AOI21", {"A": a, "B": b, "C": c})["Y"] == int(
+            not ((a and b) or c)
+        )
+        assert combinational_eval("OAI21", {"A": a, "B": b, "C": c})["Y"] == int(
+            not ((a or b) and c)
+        )
+
+
+def test_ties():
+    assert combinational_eval("TIE0", {})["Y"] == 0
+    assert combinational_eval("TIE1", {})["Y"] == 1
+
+
+def test_plain_dff_follows_data():
+    assert flop_next_state("DFF", {"D": 1, "Q": 0}) == 1
+    assert flop_next_state("DFF", {"D": 0, "Q": 1}) == 0
+
+
+def test_dff_reset_and_set_dominate():
+    assert flop_next_state("DFF_RST", {"D": 1, "RST": 1, "Q": 1}) == 0
+    assert flop_next_state("DFF_SET", {"D": 0, "SET": 1, "Q": 0}) == 1
+    assert flop_next_state("DFF_EN_RST", {"D": 1, "EN": 1, "RST": 1, "Q": 1}) == 0
+    assert flop_next_state("DFF_EN_SET", {"D": 0, "EN": 1, "RST": 1, "Q": 0}) == 1
+
+
+def test_dff_enable_holds_state():
+    assert flop_next_state("DFF_EN", {"D": 1, "EN": 0, "Q": 0}) == 0
+    assert flop_next_state("DFF_EN", {"D": 1, "EN": 1, "Q": 0}) == 1
+    assert flop_next_state("DFF_EN_RST", {"D": 1, "EN": 0, "RST": 0, "Q": 1}) == 1
+
+
+def test_wrong_eval_function_raises():
+    with pytest.raises(ValueError):
+        combinational_eval("DFF", {"D": 1, "Q": 0})
+    with pytest.raises(ValueError):
+        flop_next_state("INV", {"A": 1})
+
+
+def test_every_primitive_has_consistent_spec():
+    for name, spec in PRIMITIVES.items():
+        assert spec.name == name
+        assert spec.outputs, f"{name} has no outputs"
+        if not spec.sequential:
+            # Evaluate with all-zero inputs; must produce every declared output.
+            result = spec.eval_fn({pin: 0 for pin in spec.inputs})
+            assert set(result) == set(spec.outputs)

@@ -1,0 +1,131 @@
+"""Unit tests for the two-phase netlist simulator."""
+
+import pytest
+
+from repro.hdl.netlist import Bus, Netlist
+from repro.hdl.simulator import SimulationError, Simulator
+
+
+def _toggle_flop():
+    """A single flip-flop wired to toggle every cycle."""
+    netlist = Netlist("toggle")
+    clk = netlist.add_input("clk")
+    q = netlist.new_net("q")
+    d = netlist.new_net("d")
+    netlist.add_cell("INV", A=q, Y=d)
+    netlist.add_cell("DFF", D=d, CLK=clk, Q=q)
+    netlist.add_output("q_out", q)
+    return netlist
+
+
+def test_toggle_flop_alternates():
+    sim = Simulator(_toggle_flop())
+    values = []
+    for _ in range(6):
+        values.append(sim.peek("q_out"))
+        sim.step()
+    assert values == [0, 1, 0, 1, 0, 1]
+
+
+def test_combinational_logic_settles_without_clock():
+    netlist = Netlist("comb")
+    a = netlist.add_input("a")
+    b = netlist.add_input("b")
+    y = netlist.new_net("y")
+    netlist.add_cell("AND2", A=a, B=b, Y=y)
+    netlist.add_output("y", y)
+    sim = Simulator(netlist)
+    sim.poke("a", 1)
+    sim.poke("b", 1)
+    sim.settle()
+    assert sim.peek("y") == 1
+    sim.poke("b", 0)
+    sim.settle()
+    assert sim.peek("y") == 0
+
+
+def test_poke_unknown_port_raises():
+    sim = Simulator(_toggle_flop())
+    with pytest.raises(SimulationError):
+        sim.poke("nonexistent", 1)
+    with pytest.raises(SimulationError):
+        sim.peek("nonexistent")
+
+
+def test_peek_bus_and_poke_bus():
+    netlist = Netlist("bus")
+    data = netlist.add_input_bus("d", 4)
+    netlist.add_output_bus("o", data)
+    sim = Simulator(netlist)
+    sim.poke_bus(data, 11)
+    sim.settle()
+    assert sim.peek_bus(data) == 11
+
+
+def test_peek_onehot_detects_violations():
+    netlist = Netlist("onehot")
+    bits = netlist.add_input_bus("b", 4)
+    netlist.add_output_bus("o", bits)
+    sim = Simulator(netlist)
+    sim.poke_bus(bits, 0)
+    assert sim.peek_onehot(bits) is None
+    sim.poke_bus(bits, 4)
+    assert sim.peek_onehot(bits) == 2
+    sim.poke_bus(bits, 5)
+    with pytest.raises(SimulationError):
+        sim.peek_onehot(bits)
+
+
+def test_step_with_keyword_ports():
+    netlist = Netlist("en")
+    clk = netlist.add_input("clk")
+    en = netlist.add_input("en")
+    q = netlist.new_net("q")
+    one = netlist.const(1)
+    netlist.add_cell("DFF_EN", D=one, CLK=clk, EN=en, Q=q)
+    netlist.add_output("q", q)
+    sim = Simulator(netlist)
+    sim.step(en=0)
+    assert sim.peek("q") == 0
+    sim.step(en=1)
+    assert sim.peek("q") == 1
+
+
+def test_reset_pulse():
+    netlist = Netlist("rst")
+    clk = netlist.add_input("clk")
+    reset = netlist.add_input("reset")
+    q = netlist.new_net("q")
+    one = netlist.const(1)
+    netlist.add_cell("DFF_RST", D=one, CLK=clk, RST=reset, Q=q)
+    netlist.add_output("q", q)
+    sim = Simulator(netlist)
+    sim.step()
+    assert sim.peek("q") == 1
+    sim.reset()
+    assert sim.peek("q") == 0
+
+
+def test_flop_state_query():
+    netlist = _toggle_flop()
+    sim = Simulator(netlist)
+    flop_name = netlist.sequential_cells()[0].name
+    assert sim.flop_state(flop_name) == 0
+    sim.step()
+    assert sim.flop_state(flop_name) == 1
+    with pytest.raises(SimulationError):
+        sim.flop_state("not_a_flop")
+
+
+def test_run_sequence_samples_before_edge():
+    netlist = Netlist("count1")
+    clk = netlist.add_input("clk")
+    nxt = netlist.add_input("next")
+    q = netlist.new_net("q")
+    d = netlist.new_net("d")
+    netlist.add_cell("INV", A=q, Y=d)
+    netlist.add_cell("DFF_EN", D=d, CLK=clk, EN=nxt, Q=q)
+    netlist.add_output("q", q)
+    sim = Simulator(netlist)
+    samples = sim.run_sequence(Bus([q]), 4)
+    assert samples == [0, 1, 0, 1]

@@ -1,0 +1,187 @@
+"""Tests for truth tables, two-level minimisation and SOP synthesis."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdl.netlist import Netlist
+from repro.hdl.simulator import Simulator
+from repro.synth.logic.minimize import Implicant, minimize
+from repro.synth.logic.synthesize import sop_to_netlist
+from repro.synth.logic.truth_table import TruthTable
+
+
+# ---------------------------------------------------------------------------
+# Truth tables
+# ---------------------------------------------------------------------------
+
+def test_truth_table_validation():
+    with pytest.raises(ValueError):
+        TruthTable(num_inputs=2, on_set=frozenset({4}))
+    with pytest.raises(ValueError):
+        TruthTable(num_inputs=2, on_set=frozenset({1}), dc_set=frozenset({1}))
+
+
+def test_truth_table_from_function():
+    table = TruthTable.from_function(3, lambda m: int(bin(m).count("1") == 2))
+    assert table.on_set == frozenset({3, 5, 6})
+    assert table.off_set == frozenset({0, 1, 2, 4, 7})
+
+
+def test_truth_table_complement_and_constant():
+    table = TruthTable.from_minterms(2, on_set=[0, 1, 2, 3])
+    assert table.is_constant()
+    comp = table.complement()
+    assert comp.on_set == frozenset()
+
+
+def test_truth_table_with_dont_cares():
+    table = TruthTable.from_function(2, lambda m: None if m == 3 else int(m == 1))
+    assert table.dc_set == frozenset({3})
+    assert table.evaluate(1) == 1
+    assert table.evaluate(3) == 0
+
+
+# ---------------------------------------------------------------------------
+# Implicants
+# ---------------------------------------------------------------------------
+
+def test_implicant_string_round_trip():
+    cube = Implicant.from_string("1-0")
+    assert cube.to_string() == "1-0"
+    assert cube.covers(0b001)
+    assert cube.covers(0b011)
+    assert not cube.covers(0b101)
+    assert cube.literal_count == 2
+    assert cube.literals() == [(0, True), (2, False)]
+
+
+def test_implicant_bad_string():
+    with pytest.raises(ValueError):
+        Implicant.from_string("10x")
+
+
+# ---------------------------------------------------------------------------
+# Minimisation
+# ---------------------------------------------------------------------------
+
+def _cover_evaluates(cover, minterm):
+    return int(any(cube.covers(minterm) for cube in cover))
+
+
+def test_minimize_classic_example():
+    # f(a,b,c) = sum m(1,3,5,7) = c (variable 0).
+    table = TruthTable.from_minterms(3, on_set=[1, 3, 5, 7])
+    cover, stats = minimize(table)
+    assert len(cover) == 1
+    assert cover[0].to_string() == "1--"
+    assert stats.exact
+
+
+def test_minimize_xor_needs_two_terms():
+    table = TruthTable.from_minterms(2, on_set=[1, 2])
+    cover, _stats = minimize(table)
+    assert len(cover) == 2
+
+
+def test_minimize_uses_dont_cares():
+    # With don't-cares on 2 and 3, f = {1} union dc{3} can merge into "1-".
+    table = TruthTable.from_minterms(2, on_set=[1], dc_set=[3])
+    cover, _stats = minimize(table)
+    assert len(cover) == 1
+    assert cover[0].literal_count == 1
+
+
+def test_minimize_empty_and_constant():
+    empty, stats = minimize(TruthTable.from_minterms(3, on_set=[]))
+    assert empty == []
+    assert stats.cover_size == 0
+    full, _ = minimize(TruthTable.from_minterms(2, on_set=[0, 1, 2, 3]))
+    assert len(full) == 1
+    assert full[0].care_mask == 0
+
+
+@given(
+    num_inputs=st.integers(2, 5),
+    data=st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_minimize_cover_is_exact_property(num_inputs, data):
+    """The cover must match the on-set exactly outside the don't-care set."""
+    universe = list(range(1 << num_inputs))
+    on_set = data.draw(st.sets(st.sampled_from(universe)))
+    remaining = [m for m in universe if m not in on_set]
+    dc_set = data.draw(st.sets(st.sampled_from(remaining))) if remaining else set()
+    table = TruthTable.from_minterms(num_inputs, on_set, dc_set)
+    cover, _stats = minimize(table)
+    for minterm in universe:
+        if minterm in dc_set:
+            continue
+        assert _cover_evaluates(cover, minterm) == int(minterm in on_set)
+
+
+def test_heuristic_fallback_is_still_correct():
+    table = TruthTable.from_minterms(6, on_set=list(range(0, 64, 2)))
+    cover, stats = minimize(table, max_exact_inputs=4)
+    assert not stats.exact
+    for minterm in range(64):
+        assert _cover_evaluates(cover, minterm) == int(minterm % 2 == 0)
+
+
+def test_stats_addition():
+    _, a = minimize(TruthTable.from_minterms(3, on_set=[1, 3]))
+    _, b = minimize(TruthTable.from_minterms(3, on_set=[0]))
+    combined = a + b
+    assert combined.minterms == a.minterms + b.minterms
+    assert combined.exact
+
+
+# ---------------------------------------------------------------------------
+# SOP synthesis
+# ---------------------------------------------------------------------------
+
+@given(data=st.data())
+@settings(max_examples=30, deadline=None)
+def test_sop_netlist_matches_truth_table(data):
+    num_inputs = data.draw(st.integers(2, 4))
+    on_set = data.draw(st.sets(st.sampled_from(list(range(1 << num_inputs)))))
+    table = TruthTable.from_minterms(num_inputs, on_set)
+    cover, _ = minimize(table)
+
+    netlist = Netlist("sop")
+    inputs = netlist.add_input_bus("x", num_inputs)
+    out = sop_to_netlist(netlist, cover, list(inputs))
+    netlist.add_output("f", out)
+    sim = Simulator(netlist)
+    for minterm in range(1 << num_inputs):
+        sim.poke_bus(inputs, minterm)
+        sim.settle()
+        assert sim.peek("f") == int(minterm in on_set)
+
+
+def test_sop_constant_outputs():
+    netlist = Netlist("sop")
+    inputs = netlist.add_input_bus("x", 2)
+    zero = sop_to_netlist(netlist, [], list(inputs))
+    one = sop_to_netlist(
+        netlist, [Implicant(values=0, care_mask=0, num_inputs=2)], list(inputs)
+    )
+    netlist.add_output("zero", zero)
+    netlist.add_output("one", one)
+    sim = Simulator(netlist)
+    sim.settle()
+    assert sim.peek("zero") == 0
+    assert sim.peek("one") == 1
+
+
+def test_sop_inverter_cache_is_shared():
+    table = TruthTable.from_minterms(3, on_set=[0])
+    cover, _ = minimize(table)
+    netlist = Netlist("sop")
+    inputs = netlist.add_input_bus("x", 3)
+    cache = {}
+    sop_to_netlist(netlist, cover, list(inputs), inverter_cache=cache)
+    first_inv_count = sum(1 for c in netlist.cells.values() if c.cell_type == "INV")
+    sop_to_netlist(netlist, cover, list(inputs), prefix="g2", inverter_cache=cache)
+    second_inv_count = sum(1 for c in netlist.cells.values() if c.cell_type == "INV")
+    assert second_inv_count == first_inv_count

@@ -1,0 +1,129 @@
+"""Tests for the relaxed (multi-counter) SRAG extension."""
+
+import pytest
+
+from repro.core.mapper import map_sequence
+from repro.core.mapping_params import MappingError
+from repro.core.multi_counter import (
+    GeneralisedSragModel,
+    GeneralisedSragParameters,
+    build_generalised_srag,
+    map_sequence_relaxed,
+)
+from repro.hdl.netlist import Netlist
+from repro.hdl.simulator import Simulator
+
+
+def test_relaxed_mapping_accepts_unequal_division_counts():
+    """The paper's DivCnt-violation example becomes representable."""
+    sequence = [5, 5, 5, 1, 1, 4, 4, 0, 0, 3, 3, 7, 7, 6, 6, 2, 2]
+    with pytest.raises(MappingError):
+        map_sequence(sequence, num_lines=8)
+    parameters = map_sequence_relaxed(sequence, num_lines=8)
+    assert GeneralisedSragModel(parameters).run(len(sequence)) == sequence
+
+
+def test_relaxed_mapping_accepts_unequal_pass_counts():
+    """The paper's PassCnt-violation example becomes representable."""
+    sequence = [5, 1, 4, 0] * 3 + [3, 7, 6, 2] * 2
+    with pytest.raises(MappingError):
+        map_sequence(sequence, num_lines=8)
+    parameters = map_sequence_relaxed(sequence, num_lines=8)
+    assert parameters.pass_schedule == [12, 8]
+    assert GeneralisedSragModel(parameters).run(len(sequence)) == sequence
+
+
+def test_relaxed_mapping_still_rejects_out_of_order_circulation():
+    with pytest.raises(MappingError):
+        map_sequence_relaxed([1, 2, 3, 4, 3, 2, 1, 4], num_lines=5)
+    with pytest.raises(MappingError):
+        map_sequence_relaxed([], num_lines=4)
+
+
+def test_relaxed_mapping_matches_strict_on_strict_sequences():
+    sequence = [0, 0, 1, 1, 0, 0, 1, 1, 2, 2, 3, 3, 2, 2, 3, 3]
+    strict = map_sequence(sequence, num_lines=4)
+    relaxed = map_sequence_relaxed(sequence, num_lines=4)
+    assert relaxed.registers == strict.registers
+    assert relaxed.division_counts == strict.division_counts
+    assert sum(relaxed.pass_schedule) == len(strict.reduced)
+
+
+def test_generalised_model_parameter_validation():
+    with pytest.raises(ValueError):
+        GeneralisedSragModel(
+            GeneralisedSragParameters(
+                registers=[], division_counts=[1], pass_schedule=[1], num_lines=1
+            )
+        )
+    with pytest.raises(ValueError):
+        GeneralisedSragModel(
+            GeneralisedSragParameters(
+                registers=[(0,)], division_counts=[], pass_schedule=[1], num_lines=1
+            )
+        )
+
+
+def test_parameters_lengths():
+    sequence = [5, 5, 5, 1, 1, 4, 4, 0, 0]
+    parameters = map_sequence_relaxed(sequence, num_lines=8)
+    assert parameters.sequence_length == len(sequence)
+    assert parameters.reduced_length == 4
+    assert parameters.division_counts == [3, 2, 2, 2]
+
+
+@pytest.mark.parametrize(
+    "sequence",
+    [
+        [5, 5, 5, 1, 1, 4, 4, 0, 0, 3, 3, 7, 7, 6, 6, 2, 2],
+        [5, 1, 4, 0] * 3 + [3, 7, 6, 2] * 2,
+        [0, 0, 1, 1, 0, 0, 1, 1, 2, 2, 3, 3, 2, 2, 3, 3],
+        [2, 2, 2, 2, 1, 0],
+    ],
+)
+def test_structural_generalised_srag_matches_model(sequence):
+    parameters = map_sequence_relaxed(sequence)
+    netlist = Netlist("gsrag")
+    clk = netlist.add_input("clk")
+    nxt = netlist.add_input("next")
+    rst = netlist.add_input("reset")
+    ports = build_generalised_srag(netlist, parameters, clk, nxt, rst)
+    netlist.add_output_bus("sel", ports.select_lines)
+    sim = Simulator(netlist)
+    sim.reset()
+    sim.poke("next", 1)
+    produced = []
+    for _ in range(len(sequence)):
+        sim.settle()
+        produced.append(sim.peek_onehot(ports.select_lines))
+        sim.step()
+    assert produced == sequence
+
+
+def test_generalised_srag_costs_more_than_strict_for_strict_sequences():
+    """The schedule logic is the price of flexibility: on a sequence the
+    strict SRAG can already handle, the generalised version is not smaller."""
+    from repro.core.srag import build_srag
+    from repro.synth.flow import run_synthesis_flow
+
+    sequence = [0, 0, 1, 1, 0, 0, 1, 1, 2, 2, 3, 3, 2, 2, 3, 3]
+
+    strict_netlist = Netlist("strict")
+    clk = strict_netlist.add_input("clk")
+    nxt = strict_netlist.add_input("next")
+    rst = strict_netlist.add_input("reset")
+    mapping = map_sequence(sequence, num_lines=4)
+    ports = build_srag(strict_netlist, mapping, clk, nxt, rst)
+    strict_netlist.add_output_bus("sel", ports.select_lines)
+    strict_area = run_synthesis_flow(strict_netlist).area_cells
+
+    relaxed_netlist = Netlist("relaxed")
+    clk = relaxed_netlist.add_input("clk")
+    nxt = relaxed_netlist.add_input("next")
+    rst = relaxed_netlist.add_input("reset")
+    parameters = map_sequence_relaxed(sequence, num_lines=4)
+    ports = build_generalised_srag(relaxed_netlist, parameters, clk, nxt, rst)
+    relaxed_netlist.add_output_bus("sel", ports.select_lines)
+    relaxed_area = run_synthesis_flow(relaxed_netlist).area_cells
+
+    assert relaxed_area >= strict_area

@@ -1,0 +1,112 @@
+"""Tests for the SRAdGen flow facade and the sradgen command-line tool."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.mapping_params import MappingError
+from repro.core.sradgen import generate
+from repro.workloads import motion_estimation, patterns
+
+
+# ---------------------------------------------------------------------------
+# generate() facade
+# ---------------------------------------------------------------------------
+
+def test_generate_produces_vhdl_and_mappings():
+    result = generate(motion_estimation.read_sequence(4, 4, 2, 2))
+    assert result.vhdl is not None
+    assert "entity" in result.vhdl
+    assert result.verilog is None
+    assert result.synthesis is None
+    assert result.row_mapping.div_count == 2
+    assert result.col_mapping.div_count == 1
+    text = result.describe()
+    assert "row address sequence mapping" in text
+    assert "dC" in text
+
+
+def test_generate_with_verilog_and_synthesis():
+    result = generate(
+        motion_estimation.read_sequence(4, 4, 2, 2),
+        emit_vhdl_text=False,
+        emit_verilog_text=True,
+        synthesize=True,
+    )
+    assert result.vhdl is None
+    assert result.verilog is not None and "module" in result.verilog
+    assert result.synthesis is not None
+    assert result.synthesis.delay_ns > 0
+    assert result.synthesis.metadata["rows"] == 4
+    assert result.synthesis.summary() in result.describe()
+
+
+def test_generate_rejects_unmappable_sequence():
+    with pytest.raises(MappingError):
+        generate(patterns.serpentine_sequence(4, 4))
+
+
+def test_generate_custom_name_used_in_hdl():
+    result = generate(motion_estimation.read_sequence(4, 4, 2, 2), name="my_srag")
+    assert "entity my_srag is" in result.vhdl
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def test_parser_requires_source_and_dimensions():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["--rows", "4", "--cols", "4"])
+    args = parser.parse_args(["--workload", "fifo", "--rows", "4", "--cols", "4"])
+    assert args.workload == "fifo"
+
+
+def test_cli_builtin_workload_report(capsys):
+    exit_code = main(["--workload", "motion_est_read", "--rows", "4", "--cols", "4", "--report"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "dC = 2" in captured.out
+    assert "delay" in captured.out
+
+
+def test_cli_reads_address_file_and_writes_hdl(tmp_path, capsys):
+    address_file = tmp_path / "addresses.txt"
+    address_file.write_text("# incremental\n" + "\n".join(str(i) for i in range(16)) + "\n")
+    vhdl_file = tmp_path / "out.vhd"
+    verilog_file = tmp_path / "out.v"
+    exit_code = main([
+        "--input", str(address_file),
+        "--rows", "4", "--cols", "4",
+        "--vhdl", str(vhdl_file),
+        "--verilog", str(verilog_file),
+    ])
+    assert exit_code == 0
+    assert "entity" in vhdl_file.read_text()
+    assert "module" in verilog_file.read_text()
+    assert "wrote VHDL" in capsys.readouterr().out
+
+
+def test_cli_unmappable_sequence_reports_error(tmp_path, capsys):
+    address_file = tmp_path / "bad.txt"
+    address_file.write_text("1\n2\n3\n4\n3\n2\n1\n4\n")
+    exit_code = main(["--input", str(address_file), "--rows", "1", "--cols", "5"])
+    captured = capsys.readouterr()
+    assert exit_code == 1
+    assert "mapping failed" in captured.err
+    assert "multi_counter" in captured.err
+
+
+def test_cli_rejects_malformed_address_file(tmp_path):
+    address_file = tmp_path / "bad.txt"
+    address_file.write_text("zero\n")
+    with pytest.raises(SystemExit):
+        main(["--input", str(address_file), "--rows", "2", "--cols", "2"])
+
+
+def test_cli_explore(capsys):
+    exit_code = main(["--workload", "fifo", "--rows", "4", "--cols", "4", "--explore"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "design space" in captured.out
+    assert "SRAG" in captured.out

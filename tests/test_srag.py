@@ -1,0 +1,185 @@
+"""Tests for the SRAG functional model and structural elaboration."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mapper import map_sequence
+from repro.core.srag import SragFunctionalModel, build_srag
+from repro.hdl.netlist import Netlist
+from repro.hdl.simulator import Simulator
+from repro.workloads import dct, motion_estimation, zoom
+from repro.workloads.fifo import incremental_sequence
+
+
+# ---------------------------------------------------------------------------
+# Functional model
+# ---------------------------------------------------------------------------
+
+def test_functional_model_paper_divcnt_example():
+    model = SragFunctionalModel(
+        registers=[(5, 1, 4, 0), (3, 7, 6, 2)], div_count=2, pass_count=4
+    )
+    expected = [5, 5, 1, 1, 4, 4, 0, 0, 3, 3, 7, 7, 6, 6, 2, 2]
+    assert model.run(16) == expected
+
+
+def test_functional_model_paper_passcnt_example():
+    model = SragFunctionalModel(
+        registers=[(5, 1, 4, 0), (3, 7, 6, 2)], div_count=1, pass_count=8
+    )
+    expected = [5, 1, 4, 0, 5, 1, 4, 0, 3, 7, 6, 2, 3, 7, 6, 2]
+    assert model.run(16) == expected
+
+
+def test_functional_model_repeats_cyclically():
+    model = SragFunctionalModel(registers=[(0, 1), (2, 3)], div_count=1, pass_count=2)
+    one_period = model.run(4)
+    two_periods = model.run(8)
+    assert two_periods == one_period * 2
+
+
+def test_functional_model_holds_without_next():
+    model = SragFunctionalModel(registers=[(0, 1, 2)], div_count=1, pass_count=3)
+    model.reset()
+    assert model.current_address == 0
+    model.step(next_asserted=False)
+    assert model.current_address == 0
+    model.step(next_asserted=True)
+    assert model.current_address == 1
+
+
+def test_functional_model_select_vector_is_one_hot():
+    model = SragFunctionalModel(registers=[(2, 0, 1)], div_count=1, pass_count=3)
+    for _ in range(6):
+        vector = model.select_vector
+        assert sum(vector) == 1
+        assert vector.index(1) == model.current_address
+        model.step()
+
+
+def test_functional_model_validation():
+    with pytest.raises(ValueError):
+        SragFunctionalModel(registers=[], div_count=1, pass_count=1)
+    with pytest.raises(ValueError):
+        SragFunctionalModel(registers=[(0, 0)], div_count=1, pass_count=1)
+    with pytest.raises(ValueError):
+        SragFunctionalModel(registers=[(0, 1)], div_count=0, pass_count=1)
+    with pytest.raises(ValueError):
+        SragFunctionalModel(registers=[(0, 3)], div_count=1, pass_count=1, num_lines=2)
+
+
+# ---------------------------------------------------------------------------
+# Structural elaboration
+# ---------------------------------------------------------------------------
+
+def _structural_run(mapping, cycles):
+    netlist = Netlist("srag_test")
+    clk = netlist.add_input("clk")
+    nxt = netlist.add_input("next")
+    rst = netlist.add_input("reset")
+    ports = build_srag(netlist, mapping, clk, nxt, rst)
+    netlist.add_output_bus("sel", ports.select_lines)
+    sim = Simulator(netlist)
+    sim.reset()
+    sim.poke("next", 1)
+    produced = []
+    for _ in range(cycles):
+        sim.settle()
+        produced.append(sim.peek_onehot(ports.select_lines))
+        sim.step()
+    return produced
+
+
+@pytest.mark.parametrize(
+    "sequence",
+    [
+        [0, 0, 1, 1, 0, 0, 1, 1, 2, 2, 3, 3, 2, 2, 3, 3],  # Table 2 row sequence
+        [0, 1, 0, 1, 2, 3, 2, 3],                           # column-style sequence
+        [5, 5, 1, 1, 4, 4, 0, 0, 3, 3, 7, 7, 6, 6, 2, 2],   # Figure 5 example
+        list(range(12)),                                     # incremental
+        [3, 3, 3, 2, 2, 2, 1, 1, 1, 0, 0, 0],                # descending with repeats
+    ],
+)
+def test_structural_srag_matches_sequence(sequence):
+    mapping = map_sequence(sequence)
+    assert _structural_run(mapping, len(sequence)) == sequence
+
+
+def test_structural_srag_matches_functional_model_over_two_periods():
+    sequence = motion_estimation.read_sequence(4, 4, 2, 2).row_sequence
+    mapping = map_sequence(sequence, num_lines=4)
+    functional = SragFunctionalModel.from_mapping(mapping).run(2 * len(sequence))
+    assert _structural_run(mapping, 2 * len(sequence)) == functional
+
+
+def test_structural_srag_select_lines_stay_one_hot():
+    mapping = map_sequence([0, 0, 1, 1, 2, 2, 3, 3], num_lines=6)
+    netlist = Netlist("srag_onehot")
+    clk = netlist.add_input("clk")
+    nxt = netlist.add_input("next")
+    rst = netlist.add_input("reset")
+    ports = build_srag(netlist, mapping, clk, nxt, rst)
+    netlist.add_output_bus("sel", ports.select_lines)
+    sim = Simulator(netlist)
+    sim.reset()
+    sim.poke("next", 1)
+    for _ in range(20):
+        sim.settle()
+        asserted = [i for i, net in enumerate(ports.select_lines) if sim.peek(net)]
+        assert len(asserted) == 1
+        sim.step()
+
+
+def test_structural_srag_holds_when_next_low():
+    mapping = map_sequence([0, 1, 2, 3])
+    netlist = Netlist("srag_hold")
+    clk = netlist.add_input("clk")
+    nxt = netlist.add_input("next")
+    rst = netlist.add_input("reset")
+    ports = build_srag(netlist, mapping, clk, nxt, rst)
+    sim = Simulator(netlist)
+    sim.reset()
+    sim.poke("next", 0)
+    sim.step(5)
+    sim.settle()
+    assert sim.peek_onehot(ports.select_lines) == 0
+
+
+def test_srag_flip_flop_count_equals_distinct_addresses():
+    for sequence in (incremental_sequence(10).linear,
+                     dct.column_pass_sequence(4, 4).col_sequence,
+                     zoom.zoom_read_sequence(4, 4, 2).row_sequence):
+        mapping = map_sequence(sequence)
+        assert mapping.total_flip_flops == len(set(sequence))
+
+
+def test_single_register_srag_has_no_multiplexors():
+    mapping = map_sequence(list(range(8)))
+    netlist = Netlist("srag_nomux")
+    clk = netlist.add_input("clk")
+    nxt = netlist.add_input("next")
+    rst = netlist.add_input("reset")
+    build_srag(netlist, mapping, clk, nxt, rst)
+    assert all(cell.cell_type != "MUX2" for cell in netlist.cells.values())
+
+
+def test_multi_register_srag_has_one_mux_per_register():
+    mapping = map_sequence([0, 1, 0, 1, 2, 3, 2, 3])
+    netlist = Netlist("srag_mux")
+    clk = netlist.add_input("clk")
+    nxt = netlist.add_input("next")
+    rst = netlist.add_input("reset")
+    build_srag(netlist, mapping, clk, nxt, rst)
+    muxes = [cell for cell in netlist.cells.values() if cell.cell_type == "MUX2"]
+    assert len(muxes) == mapping.num_registers
+
+
+@given(st.integers(2, 24))
+@settings(max_examples=15, deadline=None)
+def test_incremental_srag_property(length):
+    """For any length, the incremental sequence maps to a pure token ring."""
+    sequence = list(range(length))
+    mapping = map_sequence(sequence)
+    assert mapping.num_registers == 1
+    assert _structural_run(mapping, length) == sequence

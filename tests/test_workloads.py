@@ -1,0 +1,197 @@
+"""Tests for address sequences, loop nests and the paper's workloads."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.layout import BlockedLayout, COLUMN_MAJOR
+from repro.workloads import (
+    AddressSequence,
+    AffineExpression,
+    Loop,
+    collapse_repetitions,
+    consecutive_repetitions,
+    dct,
+    fifo,
+    motion_estimation,
+    patterns,
+    zoom,
+)
+from repro.workloads.loopnest import AffineAccessPattern
+
+
+# ---------------------------------------------------------------------------
+# Sequence utilities
+# ---------------------------------------------------------------------------
+
+def test_consecutive_repetitions_and_collapse():
+    sequence = [0, 0, 1, 1, 0, 0, 1, 1]
+    assert consecutive_repetitions(sequence) == [2, 2, 2, 2]
+    assert collapse_repetitions(sequence) == [0, 1, 0, 1]
+    assert consecutive_repetitions([]) == []
+    assert collapse_repetitions([]) == []
+
+
+@given(st.lists(st.integers(0, 5), max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_collapse_and_repetition_counts_are_consistent(values):
+    runs = consecutive_repetitions(values)
+    reduced = collapse_repetitions(values)
+    assert len(runs) == len(reduced)
+    assert sum(runs) == len(values)
+    # Expanding the reduced sequence by the run lengths rebuilds the original.
+    rebuilt = []
+    for value, count in zip(reduced, runs):
+        rebuilt.extend([value] * count)
+    assert rebuilt == list(values)
+
+
+def test_address_sequence_views_and_checks():
+    seq = AddressSequence.from_linear("t", [0, 5, 10, 15], 4, 4)
+    assert seq.row_sequence == [0, 1, 2, 3]
+    assert seq.col_sequence == [0, 1, 2, 3]
+    assert seq.length == 4
+    assert seq.unique_addresses() == [0, 5, 10, 15]
+    assert not seq.is_incremental()
+    assert "4x4" in seq.describe()
+    with pytest.raises(ValueError):
+        AddressSequence.from_linear("bad", [16], 4, 4)
+
+
+def test_address_sequence_from_rowcol_round_trip():
+    rows = [0, 0, 1, 1]
+    cols = [0, 1, 0, 1]
+    seq = AddressSequence.from_rowcol("t", rows, cols, 2, 2)
+    assert seq.linear == [0, 1, 2, 3]
+    assert seq.row_sequence == rows
+    assert seq.col_sequence == cols
+    with pytest.raises(ValueError):
+        AddressSequence.from_rowcol("t", [0], [0, 1], 2, 2)
+
+
+def test_address_sequence_with_layout():
+    seq = motion_estimation.read_sequence()
+    blocked = seq.with_layout(BlockedLayout(2, 2))
+    # Under a 2x2 blocked organisation the block read order becomes incremental.
+    assert blocked.linear == list(range(16))
+    column = seq.with_layout(COLUMN_MAJOR)
+    assert sorted(column.linear) == sorted(seq.linear)
+
+
+# ---------------------------------------------------------------------------
+# Loop nests
+# ---------------------------------------------------------------------------
+
+def test_loop_validation_and_trip_count():
+    assert Loop("i", 0, 4).trip_count == 4
+    assert Loop("i", 1, 7, 2).values() == [1, 3, 5]
+    with pytest.raises(ValueError):
+        Loop("i", 0, 4, step=0)
+    with pytest.raises(ValueError):
+        Loop("i", 5, 2)
+
+
+def test_affine_expression_evaluation():
+    expr = AffineExpression.build({"g": 2, "k": 1}, constant=3)
+    assert expr.evaluate({"g": 2, "k": 1}) == 8
+    assert set(expr.variables()) == {"g", "k"}
+    assert "2*g" in expr.describe()
+    with pytest.raises(KeyError):
+        expr.evaluate({"g": 1})
+
+
+def test_access_pattern_iteration_order():
+    pattern = AffineAccessPattern(
+        name="t",
+        loops=[Loop("a", 0, 2), Loop("b", 0, 3)],
+        row_expr=AffineExpression.build({"a": 1}),
+        col_expr=AffineExpression.build({"b": 1}),
+        rows=2,
+        cols=3,
+    )
+    assert pattern.trip_count == 6
+    assert pattern.indices() == [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+    assert pattern.to_sequence().linear == [0, 1, 2, 3, 4, 5]
+    assert "a:0..1" in pattern.describe()
+
+
+def test_access_pattern_rejects_duplicate_loop_vars():
+    with pytest.raises(ValueError):
+        AffineAccessPattern(
+            name="t",
+            loops=[Loop("a", 0, 2), Loop("a", 0, 2)],
+            row_expr=AffineExpression.build({"a": 1}),
+            col_expr=AffineExpression.build({"a": 1}),
+            rows=2,
+            cols=2,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Paper workloads
+# ---------------------------------------------------------------------------
+
+def test_table1_linear_row_and_column_sequences():
+    seq = motion_estimation.read_sequence(4, 4, 2, 2)
+    assert seq.linear == [0, 1, 4, 5, 2, 3, 6, 7, 8, 9, 12, 13, 10, 11, 14, 15]
+    assert seq.row_sequence == [0, 0, 1, 1, 0, 0, 1, 1, 2, 2, 3, 3, 2, 2, 3, 3]
+    assert seq.col_sequence == [0, 1, 0, 1, 2, 3, 2, 3, 0, 1, 0, 1, 2, 3, 2, 3]
+
+
+def test_motion_estimation_write_sequence_is_incremental():
+    seq = motion_estimation.write_sequence(8, 8)
+    assert seq.is_incremental()
+    assert seq.length == 64
+
+
+def test_motion_estimation_search_range_repeats_blocks():
+    seq = motion_estimation.read_sequence(4, 4, 2, 2, search_range=1)
+    # Each macroblock is read (2m)^2 = 4 times.
+    assert seq.length == 4 * 16
+    assert seq.linear[:4] == [0, 1, 4, 5]
+
+
+def test_motion_estimation_rejects_bad_tiling():
+    with pytest.raises(ValueError):
+        motion_estimation.new_img_read_pattern(5, 4, 2, 2)
+
+
+def test_dct_column_pass_is_transposed_raster():
+    seq = dct.column_pass_sequence(4, 4)
+    assert seq.linear[:8] == [0, 4, 8, 12, 1, 5, 9, 13]
+    assert seq.col_sequence[:4] == [0, 0, 0, 0]
+
+
+def test_zoom_sequence_repeats_each_pixel():
+    seq = zoom.zoom_read_sequence(2, 2, 2)
+    assert seq.length == 16
+    assert seq.linear[:6] == [0, 0, 1, 1, 0, 0]
+    with pytest.raises(ValueError):
+        zoom.zoom_read_pattern(2, 2, 0)
+
+
+def test_fifo_and_incremental_sequences():
+    assert fifo.fifo_sequence(4, 4).is_incremental()
+    seq = fifo.incremental_sequence(10)
+    assert seq.linear == list(range(10))
+    with pytest.raises(ValueError):
+        fifo.incremental_sequence(0)
+
+
+def test_extra_patterns():
+    strided = patterns.strided_pattern(4, 4, 2).to_sequence()
+    assert strided.length == 16
+    assert strided.row_sequence[:8] == [0, 0, 0, 0, 2, 2, 2, 2]
+
+    block = patterns.block_raster_pattern(4, 4, 2, 2).to_sequence()
+    assert block.linear == motion_estimation.read_sequence(4, 4, 2, 2).linear
+
+    serp = patterns.serpentine_sequence(3, 3)
+    assert serp.linear == [0, 1, 2, 5, 4, 3, 6, 7, 8]
+
+    rep = patterns.repeated_sequence([0, 1], 3, 1, 2)
+    assert rep.linear == [0, 0, 0, 1, 1, 1]
+
+    lcg = patterns.lcg_sequence(20, 4, 4, seed=7)
+    assert len(lcg) == 20
+    assert all(0 <= a < 16 for a in lcg)
