@@ -1,11 +1,25 @@
-"""Setuptools shim.
+"""Setuptools metadata.
 
-Kept alongside ``pyproject.toml`` so that editable installs work in offline
-environments whose setuptools/pip combination lacks the ``wheel`` package
-(``pip install -e . --no-build-isolation`` falls back to the legacy
-``setup.py develop`` path).  All metadata lives in ``pyproject.toml``.
+Metadata lives here rather than in a ``pyproject.toml`` ``[project]`` table
+(the repo deliberately ships no ``pyproject.toml``): as soon as one exists,
+pip insists on the PEP 660 editable path, which needs the ``wheel`` package
+that the offline reproduction environments don't have.  Without it, pip and
+``python setup.py develop`` both use the legacy path, which needs no wheel
+build.  Pytest configuration lives in ``pytest.ini``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="sradgen-repro",
+    version="0.2.0",
+    description=(
+        "Address decoder decoupling (DATE 2002) reproduction: SRAG address "
+        "generators, gate-level synthesis models, and campaign-scale "
+        "design-space exploration"
+    ),
+    python_requires=">=3.8",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    entry_points={"console_scripts": ["sradgen = repro.cli:main"]},
+)

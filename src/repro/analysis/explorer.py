@@ -3,28 +3,29 @@
 The paper's closing goal is "to discover algorithms and heuristics which can
 explore the vast design space opened up by address decoder decoupling at a
 high level of abstraction and choose the best architecture".  This module is
-a first cut at that explorer: given an access pattern it evaluates every
-architecture that can implement it (SRAG, relaxed SRAG, CntAG, arithmetic,
-symbolic FSM under several encodings, SFM where applicable), collects their
-area/delay points and reports the Pareto frontier.
+the interactive, single-workload face of that explorer: given an access
+pattern it evaluates every architecture that can implement it, collects
+their area/delay points and reports the Pareto frontier.
+
+Candidate enumeration is delegated to :func:`repro.engine.jobs.candidate_factories`
+so the explorer and the batch campaign engine (:mod:`repro.engine`) always
+agree on the design space; for grid-scale exploration with caching and
+parallelism use ``sradgen --campaign`` or :class:`repro.engine.CampaignRunner`
+directly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.core.mapping_params import MappingError
-from repro.generators.arithmetic import ArithmeticAddressGenerator
+from repro.engine.jobs import FSM_ENCODINGS, candidate_factories
+from repro.engine.pareto import pareto_min
 from repro.generators.base import AddressGeneratorDesign
-from repro.generators.counter_based import CounterBasedAddressGenerator
-from repro.generators.fsm_based import FsmAddressGenerator
-from repro.generators.sfm_pointer import SfmPointerGenerator
-from repro.generators.srag_design import SragDesign
 from repro.hdl.netlist import NetlistError
 from repro.synth.cell_library import CellLibrary, STD018
 from repro.workloads.loopnest import AffineAccessPattern
-from repro.workloads.sequences import AddressSequence
 
 __all__ = ["DesignPoint", "ExplorationResult", "explore", "pareto_front"]
 
@@ -84,18 +85,12 @@ class ExplorationResult:
 
 
 def pareto_front(points: Sequence[DesignPoint]) -> List[DesignPoint]:
-    """Points not dominated in both delay and area by any other point."""
-    front: List[DesignPoint] = []
-    for candidate in points:
-        dominated = any(
-            other.delay_ns <= candidate.delay_ns
-            and other.area_cells <= candidate.area_cells
-            and (other.delay_ns < candidate.delay_ns or other.area_cells < candidate.area_cells)
-            for other in points
-        )
-        if not dominated:
-            front.append(candidate)
-    return front
+    """Points not dominated in both delay and area by any other point.
+
+    Uses the engine's sort-based O(n log n) sweep (campaigns produce
+    thousands of points; the old all-pairs check was quadratic).
+    """
+    return pareto_min(list(points), key=lambda p: (p.delay_ns, p.area_cells))
 
 
 def _evaluate(design: AddressGeneratorDesign, variant: str, library: CellLibrary) -> DesignPoint:
@@ -113,7 +108,7 @@ def explore(
     pattern: AffineAccessPattern,
     *,
     library: CellLibrary = STD018,
-    fsm_encodings: Sequence[str] = ("binary", "gray", "onehot"),
+    fsm_encodings: Sequence[str] = FSM_ENCODINGS,
     max_fsm_states: int = 512,
 ) -> ExplorationResult:
     """Evaluate every applicable architecture for ``pattern``.
@@ -132,29 +127,9 @@ def explore(
     sequence = pattern.to_sequence()
     result = ExplorationResult(workload=sequence.name)
 
-    candidates: List[tuple] = [
-        ("SRAG", "two-hot", lambda: SragDesign(sequence)),
-        ("CntAG", "decoders", lambda: CounterBasedAddressGenerator(pattern)),
-        (
-            "CntAG",
-            "adders",
-            lambda: CounterBasedAddressGenerator(pattern, use_concatenation=False),
-        ),
-        ("ArithAG", "binary", lambda: ArithmeticAddressGenerator(sequence)),
-        ("SFM", "pointers", lambda: SfmPointerGenerator(sequence)),
-    ]
-    if sequence.length <= max_fsm_states:
-        for encoding in fsm_encodings:
-            candidates.append(
-                (
-                    "FSM",
-                    encoding,
-                    lambda enc=encoding: FsmAddressGenerator(
-                        sequence, encoding=enc, output_style="two_hot"
-                    ),
-                )
-            )
-
+    candidates = candidate_factories(
+        pattern, fsm_encodings=fsm_encodings, max_fsm_states=max_fsm_states
+    )
     for style, variant, factory in candidates:
         try:
             design = factory()

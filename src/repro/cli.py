@@ -2,7 +2,9 @@
 
 A thin front end over :mod:`repro.core.sradgen`, mirroring the paper's
 SRAdGen utility: read an address sequence, run the mapping procedure, and
-emit synthesisable HDL plus (optionally) area/delay figures.
+emit synthesisable HDL plus (optionally) area/delay figures.  On top of
+that, ``--campaign`` drives the batch engine (:mod:`repro.engine`): cached,
+parallel design-space exploration over whole workload/geometry/style grids.
 
 Usage examples::
 
@@ -14,35 +16,31 @@ Usage examples::
 
     # Explore the design space for a workload
     sradgen --workload dct --rows 8 --cols 8 --explore
+
+    # Run a batch campaign with a persistent result cache (re-running only
+    # evaluates new points)
+    sradgen --campaign demo --cache-dir .sradgen_cache
+    sradgen --list-campaigns
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional, Sequence
 
 from repro.analysis.explorer import explore
 from repro.core.mapping_params import MappingError
 from repro.core.sradgen import generate
-from repro.workloads import dct, fifo, motion_estimation, zoom
+from repro.engine.cache import ResultCache
+from repro.engine.runner import CampaignRunner, EvalRecord
+from repro.engine.sweep import CAMPAIGNS, available_campaigns, build_campaign
 from repro.workloads.loopnest import AffineAccessPattern
+from repro.workloads.registry import WORKLOADS, build_pattern
 from repro.workloads.sequences import AddressSequence
 
 __all__ = ["main", "build_parser"]
-
-#: Built-in workload factories: name -> callable(rows, cols) -> AffineAccessPattern
-WORKLOADS = {
-    "motion_est_read": lambda rows, cols: motion_estimation.new_img_read_pattern(
-        cols, rows, 2, 2
-    ),
-    "motion_est_write": lambda rows, cols: motion_estimation.new_img_write_pattern(
-        cols, rows
-    ),
-    "dct": lambda rows, cols: dct.column_pass_pattern(cols, rows),
-    "zoombytwo": lambda rows, cols: zoom.zoom_read_pattern(cols, rows, 2),
-    "fifo": lambda rows, cols: fifo.fifo_pattern(cols, rows),
-}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -51,7 +49,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="sradgen",
         description=(
             "Map an address sequence onto the Shift Register based Address "
-            "Generator (SRAG) and emit synthesisable HDL."
+            "Generator (SRAG) and emit synthesisable HDL, or run batch "
+            "design-space campaigns."
         ),
     )
     source = parser.add_mutually_exclusive_group(required=True)
@@ -64,8 +63,18 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(WORKLOADS),
         help="use a built-in workload instead of an input file",
     )
-    parser.add_argument("--rows", type=int, required=True, help="memory array rows")
-    parser.add_argument("--cols", type=int, required=True, help="memory array columns")
+    source.add_argument(
+        "--campaign",
+        choices=sorted(CAMPAIGNS),
+        help="run a batch design-space campaign instead of a single mapping",
+    )
+    source.add_argument(
+        "--list-campaigns",
+        action="store_true",
+        help="list available campaigns and exit",
+    )
+    parser.add_argument("--rows", type=int, help="memory array rows")
+    parser.add_argument("--cols", type=int, help="memory array columns")
     parser.add_argument("--vhdl", help="write generated VHDL to this file")
     parser.add_argument("--verilog", help="write generated Verilog to this file")
     parser.add_argument(
@@ -82,6 +91,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-verify",
         action="store_true",
         help="skip gate-level verification of the generated SRAG",
+    )
+    engine = parser.add_argument_group("campaign options")
+    engine.add_argument(
+        "--cache-dir",
+        help="persistent result-cache directory (campaigns resume from it)",
+    )
+    engine.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for campaign evaluation (default: min(cpus, 8))",
+    )
+    engine.add_argument(
+        "--serial",
+        action="store_true",
+        help="evaluate campaign jobs serially in-process",
+    )
+    engine.add_argument(
+        "--force",
+        action="store_true",
+        help="re-evaluate campaign jobs even when cached",
+    )
+    engine.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-job campaign progress lines",
     )
     return parser
 
@@ -106,7 +141,7 @@ def _read_address_file(path: str) -> List[int]:
 
 def _load_sequence(args: argparse.Namespace) -> AddressSequence:
     if args.workload:
-        pattern: AffineAccessPattern = WORKLOADS[args.workload](args.rows, args.cols)
+        pattern: AffineAccessPattern = build_pattern(args.workload, args.rows, args.cols)
         return pattern.to_sequence()
     addresses = _read_address_file(args.input)
     return AddressSequence.from_linear(
@@ -114,16 +149,71 @@ def _load_sequence(args: argparse.Namespace) -> AddressSequence:
     )
 
 
+def _run_campaign(args: argparse.Namespace) -> int:
+    campaign = build_campaign(args.campaign)
+    cache = ResultCache(args.cache_dir)
+    workers = 0 if args.serial else args.workers
+
+    def progress(record: EvalRecord, done: int, total: int) -> None:
+        source = "cached" if record.cached else f"{record.duration_s * 1000:.0f} ms"
+        if record.status == "ok":
+            detail = (
+                f"delay {record.delay_ns:7.3f} ns   area {record.area_cells:10.1f} cu"
+            )
+        else:
+            detail = f"{record.status}: {record.note.splitlines()[0][:60]}"
+        print(
+            f"  [{done:>{len(str(total))}}/{total}] "
+            f"{record.label:<42} {detail}  ({source})"
+        )
+
+    print(
+        f"campaign {args.campaign!r}: {len(campaign)} jobs, "
+        f"cache {args.cache_dir or '(in-memory)'}"
+    )
+    runner = CampaignRunner(
+        cache,
+        workers=workers,
+        progress=None if args.quiet else progress,
+    )
+    result = runner.run(campaign, force=args.force)
+    print()
+    print(result.describe())
+    errors = sum(1 for record in result.records if record.status == "error")
+    return 1 if errors else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns the process exit code."""
+    try:
+        return _dispatch(argv)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; die quietly like cat does.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 1
+
+
+def _dispatch(argv: Optional[Sequence[str]]) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    if args.list_campaigns:
+        for name in available_campaigns():
+            print(f"{name:<18} {build_campaign(name).description}")
+        return 0
+
+    if args.campaign:
+        return _run_campaign(args)
+
+    if args.rows is None or args.cols is None:
+        parser.error("--rows and --cols are required with --input/--workload")
     sequence = _load_sequence(args)
 
     if args.explore:
         if not args.workload:
             parser.error("--explore requires --workload (it needs the loop nest)")
-        pattern = WORKLOADS[args.workload](args.rows, args.cols)
+        pattern = build_pattern(args.workload, args.rows, args.cols)
         print(explore(pattern).describe())
         return 0
 

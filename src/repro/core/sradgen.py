@@ -37,9 +37,9 @@ class SRAdGenResult:
     vhdl, verilog:
         Generated HDL text (``None`` unless requested).
     synthesis:
-        Area/delay report (``None`` unless requested).  Note that synthesis
-        modifies the netlist in place (buffer insertion), so HDL is always
-        generated *before* synthesis.
+        Area/delay report (``None`` unless requested).  Synthesis works on a
+        clone of the netlist, so the emitted HDL and the generator's netlist
+        are unaffected by buffer insertion.
     """
 
     generator: SragAddressGenerator

@@ -1,0 +1,57 @@
+"""Campaign engine: parallel, cached, persistent design-space exploration.
+
+The paper closes by calling for "algorithms and heuristics which can explore
+the vast design space opened up by address decoder decoupling".  This
+package is the scaffolding for that exploration at scale:
+
+* :mod:`repro.engine.jobs` -- declarative :class:`EvalJob`/:class:`Campaign`
+  grids over (workload x geometry x style x library x encoding) with stable
+  content-hash keys per job;
+* :mod:`repro.engine.cache` -- a content-addressed on-disk result store, so
+  re-running a campaign only evaluates new points;
+* :mod:`repro.engine.runner` -- :class:`CampaignRunner` fans jobs out over
+  worker processes (with a serial fallback), streams :class:`EvalRecord`
+  results back, and merges campaign-level Pareto fronts;
+* :mod:`repro.engine.sweep` -- built-in campaigns reproducing the paper's
+  Figure 8/10 sweeps plus new cross-workload grids;
+* :mod:`repro.engine.pareto` -- the O(n log n) Pareto sweep shared with the
+  interactive explorer.
+"""
+
+from repro.engine.cache import ResultCache
+from repro.engine.jobs import (
+    Campaign,
+    EvalJob,
+    FSM_ENCODINGS,
+    STYLE_VARIANTS,
+    build_design,
+    candidate_factories,
+)
+from repro.engine.pareto import pareto_indices, pareto_min
+from repro.engine.runner import CampaignResult, CampaignRunner, EvalRecord, evaluate_job
+from repro.engine.sweep import (
+    CAMPAIGNS,
+    available_campaigns,
+    build_campaign,
+    register_campaign,
+)
+
+__all__ = [
+    "CAMPAIGNS",
+    "Campaign",
+    "CampaignResult",
+    "CampaignRunner",
+    "EvalJob",
+    "EvalRecord",
+    "FSM_ENCODINGS",
+    "ResultCache",
+    "STYLE_VARIANTS",
+    "available_campaigns",
+    "build_campaign",
+    "build_design",
+    "candidate_factories",
+    "evaluate_job",
+    "pareto_indices",
+    "pareto_min",
+    "register_campaign",
+]

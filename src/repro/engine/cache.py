@@ -1,0 +1,132 @@
+"""Content-addressed on-disk result store.
+
+Synthesising a design point takes orders of magnitude longer than reading a
+cached record, so campaigns persist every evaluation keyed by the job's
+content hash (:attr:`repro.engine.jobs.EvalJob.key`).  Re-running a campaign
+then only evaluates points whose spec changed -- new workloads, new
+geometries, a recalibrated library -- and everything else is a cache hit.
+
+The store is a directory holding one append-only JSON-lines file.  Appends
+are atomic enough for the single-writer model used here (only the parent
+campaign process writes; worker processes return records over the pool), and
+the format stays greppable and diffable.  Re-putting a key appends a new
+line that supersedes the old one on the next load; :meth:`ResultCache.compact`
+rewrites the file with only live entries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["ResultCache"]
+
+_RESULTS_FILE = "results.jsonl"
+
+
+class ResultCache:
+    """Persistent ``key -> record`` store backed by a JSON-lines file.
+
+    Parameters
+    ----------
+    directory:
+        Cache directory; created on first write.  ``None`` gives a purely
+        in-memory cache (useful for tests and one-shot runs).
+    """
+
+    def __init__(self, directory: Optional[str] = None):
+        self.directory = directory
+        self._records: Dict[str, dict] = {}
+        self._loaded = directory is None
+
+    # ------------------------------------------------------------------- io
+    @property
+    def path(self) -> Optional[str]:
+        """Path of the backing JSONL file (``None`` for in-memory caches)."""
+        if self.directory is None:
+            return None
+        return os.path.join(self.directory, _RESULTS_FILE)
+
+    def _load(self) -> None:
+        if self._loaded:
+            return
+        self._loaded = True
+        path = self.path
+        if path is None or not os.path.exists(path):
+            return
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # tolerate a torn final line from a killed run
+                key = entry.get("key")
+                record = entry.get("record")
+                if isinstance(key, str) and isinstance(record, dict):
+                    self._records[key] = record
+
+    def _append(self, key: str, record: dict) -> None:
+        path = self.path
+        if path is None:
+            return
+        os.makedirs(self.directory, exist_ok=True)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps({"key": key, "record": record}, sort_keys=True))
+            handle.write("\n")
+
+    # ------------------------------------------------------------ dict-like
+    def __contains__(self, key: str) -> bool:
+        self._load()
+        return key in self._records
+
+    def __len__(self) -> int:
+        self._load()
+        return len(self._records)
+
+    def keys(self) -> Iterator[str]:
+        """Iterate over cached job keys."""
+        self._load()
+        return iter(list(self._records))
+
+    def get(self, key: str) -> Optional[dict]:
+        """Return the cached record for ``key``, or ``None`` on a miss."""
+        self._load()
+        return self._records.get(key)
+
+    def put(self, key: str, record: dict) -> None:
+        """Store ``record`` under ``key`` (persisted immediately)."""
+        self._load()
+        self._records[key] = record
+        self._append(key, record)
+
+    # -------------------------------------------------------- housekeeping
+    def records(self) -> List[dict]:
+        """All live records (latest entry per key), in insertion order."""
+        self._load()
+        return list(self._records.values())
+
+    def compact(self) -> None:
+        """Rewrite the backing file keeping only the latest entry per key."""
+        self._load()
+        path = self.path
+        if path is None or not os.path.exists(path):
+            return
+        tmp_path = path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            for key, record in self._records.items():
+                handle.write(json.dumps({"key": key, "record": record}, sort_keys=True))
+                handle.write("\n")
+        os.replace(tmp_path, path)
+
+    def clear(self) -> None:
+        """Drop every record (and truncate the backing file)."""
+        self._load()
+        self._records.clear()
+        path = self.path
+        if path is not None and os.path.exists(path):
+            with open(path, "w", encoding="utf-8"):
+                pass

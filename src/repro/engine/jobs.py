@@ -1,0 +1,244 @@
+"""Declarative evaluation jobs and campaigns.
+
+A campaign is a grid of *jobs*; a job is one point of the design space the
+paper closes on -- "discover algorithms and heuristics which can explore the
+vast design space opened up by address decoder decoupling":
+
+    workload x array geometry x generator style x cell library (x FSM encoding)
+
+Jobs are pure data: every field is a name or a number, so a job can be
+hashed, written to disk, shipped to a worker process and rebuilt there.  The
+bridge from data back to objects lives here too -- :func:`build_design`
+instantiates the generator a job describes, and :func:`candidate_factories`
+enumerates every architecture applicable to a pattern (the explorer and the
+campaign factories share this single list).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.generators.arithmetic import ArithmeticAddressGenerator
+from repro.generators.base import AddressGeneratorDesign
+from repro.generators.counter_based import CounterBasedAddressGenerator
+from repro.generators.fsm_based import FsmAddressGenerator
+from repro.generators.sfm_pointer import SfmPointerGenerator
+from repro.generators.srag_design import SragDesign
+from repro.synth.cell_library import get_library, library_fingerprint
+from repro.workloads.loopnest import AffineAccessPattern
+from repro.workloads.registry import build_pattern
+
+__all__ = [
+    "Campaign",
+    "EvalJob",
+    "FSM_ENCODINGS",
+    "STYLE_VARIANTS",
+    "build_design",
+    "candidate_factories",
+]
+
+#: Default symbolic-FSM state encodings explored per workload.
+FSM_ENCODINGS: Tuple[str, ...] = ("binary", "gray", "onehot")
+
+#: Every (style, variant) pair the library can build.  ``FSM`` variants are
+#: the state encodings.
+STYLE_VARIANTS: Tuple[Tuple[str, str], ...] = (
+    ("SRAG", "two-hot"),
+    ("CntAG", "decoders"),
+    ("CntAG", "adders"),
+    ("ArithAG", "binary"),
+    ("SFM", "pointers"),
+    ("FSM", "binary"),
+    ("FSM", "gray"),
+    ("FSM", "onehot"),
+)
+
+#: Bump when the meaning of a job spec (or of the recorded metrics) changes
+#: incompatibly; old cache entries then stop matching.
+SPEC_VERSION = 1
+
+
+def candidate_factories(
+    pattern: AffineAccessPattern,
+    *,
+    fsm_encodings: Sequence[str] = FSM_ENCODINGS,
+    max_fsm_states: int = 512,
+) -> List[Tuple[str, str, Callable[[], AddressGeneratorDesign]]]:
+    """Enumerate ``(style, variant, factory)`` for every applicable architecture.
+
+    This is the single candidate list behind both the interactive explorer
+    and campaign grids.  Factories may raise ``MappingError`` /
+    ``NetlistError`` / ``ValueError`` for patterns an architecture cannot
+    implement; callers record those as skipped points.
+
+    Symbolic-FSM variants are omitted for sequences longer than
+    ``max_fsm_states`` to keep evaluation time bounded (the blow-up itself is
+    measured by the synthesis-effort benchmark instead).
+    """
+    sequence = pattern.to_sequence()
+    candidates: List[Tuple[str, str, Callable[[], AddressGeneratorDesign]]] = [
+        ("SRAG", "two-hot", lambda: SragDesign(sequence)),
+        ("CntAG", "decoders", lambda: CounterBasedAddressGenerator(pattern)),
+        (
+            "CntAG",
+            "adders",
+            lambda: CounterBasedAddressGenerator(pattern, use_concatenation=False),
+        ),
+        ("ArithAG", "binary", lambda: ArithmeticAddressGenerator(sequence)),
+        ("SFM", "pointers", lambda: SfmPointerGenerator(sequence)),
+    ]
+    if sequence.length <= max_fsm_states:
+        for encoding in fsm_encodings:
+            candidates.append(
+                (
+                    "FSM",
+                    encoding,
+                    lambda enc=encoding: FsmAddressGenerator(
+                        sequence, encoding=enc, output_style="two_hot"
+                    ),
+                )
+            )
+    return candidates
+
+
+def build_design(
+    pattern: AffineAccessPattern, style: str, variant: str
+) -> AddressGeneratorDesign:
+    """Instantiate the generator ``(style, variant)`` describes for ``pattern``.
+
+    Raises ``KeyError`` for unknown style/variant pairs and whatever the
+    generator's constructor raises for inapplicable patterns.
+    """
+    for cand_style, cand_variant, factory in candidate_factories(
+        pattern, max_fsm_states=2 ** 31
+    ):
+        if cand_style == style and cand_variant == variant:
+            return factory()
+    raise KeyError(f"unknown architecture {style}[{variant}]")
+
+
+@dataclass(frozen=True)
+class EvalJob:
+    """One design-space point: evaluate one architecture for one workload.
+
+    All fields are plain data so the job survives pickling into worker
+    processes and JSON round-trips through the result cache.
+    """
+
+    workload: str
+    rows: int
+    cols: int
+    style: str
+    variant: str
+    library: str = "std018"
+    max_fanout: int = 8
+    max_fsm_states: int = 512
+
+    def spec(self) -> dict:
+        """Canonical dictionary form of the job (what gets hashed)."""
+        return {
+            "version": SPEC_VERSION,
+            "workload": self.workload,
+            "rows": self.rows,
+            "cols": self.cols,
+            "style": self.style,
+            "variant": self.variant,
+            "library": self.library,
+            "library_fingerprint": library_fingerprint(get_library(self.library)),
+            "max_fanout": self.max_fanout,
+            "max_fsm_states": self.max_fsm_states,
+        }
+
+    @property
+    def key(self) -> str:
+        """Stable content-hash key identifying this job.
+
+        The key covers the full spec including a fingerprint of the cell
+        library's characterisation, so recalibrating a library (or bumping
+        ``SPEC_VERSION``) invalidates stale cache entries.
+        """
+        payload = json.dumps(self.spec(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    @property
+    def label(self) -> str:
+        """Compact display label, e.g. ``fifo 8x8 SRAG[two-hot] @std018``."""
+        return (
+            f"{self.workload} {self.rows}x{self.cols} "
+            f"{self.style}[{self.variant}] @{self.library}"
+        )
+
+    def pattern(self) -> AffineAccessPattern:
+        """Build the access pattern this job evaluates."""
+        return build_pattern(self.workload, self.rows, self.cols)
+
+
+@dataclass
+class Campaign:
+    """A named batch of evaluation jobs.
+
+    Attributes
+    ----------
+    name:
+        Campaign name (used for reporting and as the CLI handle).
+    jobs:
+        The evaluation grid, in a deterministic order.
+    description:
+        One-line human description shown by ``sradgen --list-campaigns``.
+    """
+
+    name: str
+    jobs: List[EvalJob] = field(default_factory=list)
+    description: str = ""
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self):
+        return iter(self.jobs)
+
+    @classmethod
+    def from_grid(
+        cls,
+        name: str,
+        *,
+        workloads: Sequence[str],
+        geometries: Sequence[Tuple[int, int]],
+        styles: Optional[Sequence[Tuple[str, str]]] = None,
+        libraries: Sequence[str] = ("std018",),
+        max_fanout: int = 8,
+        max_fsm_states: int = 512,
+        description: str = "",
+    ) -> "Campaign":
+        """Expand a full cross-product grid into a campaign.
+
+        ``styles`` defaults to every architecture the library knows
+        (:data:`STYLE_VARIANTS`); architectures that turn out to be
+        inapplicable to a particular workload are recorded as skipped at
+        evaluation time rather than excluded up front.
+        """
+        chosen = tuple(styles) if styles is not None else STYLE_VARIANTS
+        jobs = [
+            EvalJob(
+                workload=workload,
+                rows=rows,
+                cols=cols,
+                style=style,
+                variant=variant,
+                library=library,
+                max_fanout=max_fanout,
+                max_fsm_states=max_fsm_states,
+            )
+            for workload in workloads
+            for rows, cols in geometries
+            for library in libraries
+            for style, variant in chosen
+        ]
+        return cls(name=name, jobs=jobs, description=description)
+
+    def extended(self, other: Iterable[EvalJob]) -> "Campaign":
+        """A copy of this campaign with extra jobs appended."""
+        return replace(self, jobs=self.jobs + list(other))

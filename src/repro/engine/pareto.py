@@ -1,0 +1,71 @@
+"""Sort-based Pareto-front computation.
+
+Campaigns evaluate thousands of design points, so the quadratic
+all-pairs dominance check the explorer started with does not scale.  This
+module provides the O(n log n) sweep both the explorer and the campaign
+runner use: sort by the first objective, then a single pass keeps exactly
+the points no other point dominates.
+
+Domination is the usual weak/strict mix: ``q`` dominates ``p`` when ``q`` is
+no worse in both objectives and strictly better in at least one.  Points
+that tie on *both* objectives do not dominate each other, so duplicates of a
+frontier point all survive -- the same semantics as the original all-pairs
+check.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, TypeVar
+
+__all__ = ["pareto_indices", "pareto_min"]
+
+T = TypeVar("T")
+
+
+def pareto_indices(objectives: Sequence[Sequence[float]]) -> List[int]:
+    """Indices (in input order) of the Pareto front of ``(x, y)`` pairs.
+
+    Both objectives are minimised.  Runs in O(n log n).
+
+    Points with a NaN objective are never dominated (and never dominate), so
+    they are kept unconditionally, as in the all-pairs check.
+    """
+    finite = [
+        i for i in range(len(objectives))
+        if objectives[i][0] == objectives[i][0] and objectives[i][1] == objectives[i][1]
+    ]
+    finite_set = set(finite)
+    keep_nan = [i for i in range(len(objectives)) if i not in finite_set]
+    order = sorted(finite, key=lambda i: (objectives[i][0], objectives[i][1]))
+    keep: List[int] = []
+    best_prev_y = float("inf")  # min y over all strictly-smaller x values
+    group_start = 0
+    while group_start < len(order):
+        # One group of equal x; its members are sorted by ascending y.
+        group_end = group_start
+        x = objectives[order[group_start]][0]
+        while group_end < len(order) and objectives[order[group_end]][0] == x:
+            group_end += 1
+        group_min_y = objectives[order[group_start]][1]
+        for position in range(group_start, group_end):
+            index = order[position]
+            y = objectives[index][1]
+            # Dominated by a smaller-x point (weakly better y, strictly
+            # better x) or by a same-x point with strictly smaller y.
+            if y < best_prev_y and y == group_min_y:
+                keep.append(index)
+        best_prev_y = min(best_prev_y, group_min_y)
+        group_start = group_end
+    return sorted(keep + keep_nan)
+
+
+def pareto_min(
+    items: Sequence[T],
+    key: Callable[[T], Sequence[float]],
+) -> List[T]:
+    """Items on the Pareto front, in input order, minimising ``key(item)``.
+
+    ``key`` must return an ``(x, y)`` pair of objectives.
+    """
+    objectives = [key(item) for item in items]
+    return [items[i] for i in pareto_indices(objectives)]

@@ -1,0 +1,302 @@
+"""Campaign execution: fan jobs out, stream records back, merge Pareto fronts.
+
+The runner is the scaling layer the ROADMAP asks for: it partitions a
+campaign into cached and pending jobs, evaluates the pending ones either
+serially or over a :class:`concurrent.futures.ProcessPoolExecutor`, persists
+every fresh result into the :class:`~repro.engine.cache.ResultCache`, and
+merges everything into a :class:`CampaignResult` whose records are in
+campaign order -- so serial and parallel runs of the same campaign are
+bit-for-bit identical.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import time
+import traceback
+from dataclasses import asdict, dataclass, field
+
+try:  # the process submodule is missing on platforms without multiprocessing
+    from concurrent.futures.process import BrokenProcessPool
+except ImportError:  # pragma: no cover - environment dependent
+    class BrokenProcessPool(Exception):
+        """Placeholder; never raised when process pools are unavailable."""
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.mapping_params import MappingError
+from repro.engine.cache import ResultCache
+from repro.engine.jobs import Campaign, EvalJob, build_design
+from repro.engine.pareto import pareto_min
+from repro.hdl.netlist import NetlistError
+from repro.synth.cell_library import get_library
+
+__all__ = ["CampaignResult", "CampaignRunner", "EvalRecord", "evaluate_job"]
+
+#: Record status values.
+OK, SKIPPED, ERROR = "ok", "skipped", "error"
+
+
+@dataclass
+class EvalRecord:
+    """The outcome of one evaluation job.
+
+    ``status`` is ``"ok"`` (metrics valid), ``"skipped"`` (architecture not
+    applicable to the workload; ``note`` holds the reason) or ``"error"``
+    (unexpected failure; ``note`` holds the traceback summary).
+    """
+
+    workload: str
+    rows: int
+    cols: int
+    style: str
+    variant: str
+    library: str
+    key: str
+    status: str
+    delay_ns: float = float("nan")
+    area_cells: float = float("nan")
+    flip_flops: int = 0
+    total_cells: int = 0
+    buffers_inserted: int = 0
+    note: str = ""
+    duration_s: float = 0.0
+    cached: bool = False
+
+    @property
+    def label(self) -> str:
+        """Compact display label, e.g. ``fifo 8x8 SRAG[two-hot]``."""
+        return f"{self.workload} {self.rows}x{self.cols} {self.style}[{self.variant}]"
+
+    def to_dict(self) -> dict:
+        """Plain-dict form stored in the result cache (``cached`` excluded)."""
+        data = asdict(self)
+        data.pop("cached")
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict, *, cached: bool = False) -> "EvalRecord":
+        """Rebuild a record from its cached dictionary form."""
+        known = {f for f in cls.__dataclass_fields__ if f != "cached"}
+        return cls(cached=cached, **{k: v for k, v in data.items() if k in known})
+
+
+def evaluate_job(job: EvalJob) -> EvalRecord:
+    """Evaluate one job: build the pattern and design, synthesise, measure.
+
+    Never raises: inapplicable architectures come back as ``skipped`` records
+    and unexpected failures as ``error`` records, so one bad grid point
+    cannot take down a campaign (or a worker process).
+    """
+    start = time.perf_counter()
+    base = dict(
+        workload=job.workload,
+        rows=job.rows,
+        cols=job.cols,
+        style=job.style,
+        variant=job.variant,
+        library=job.library,
+        key=job.key,
+    )
+    try:
+        pattern = job.pattern()
+        if job.style == "FSM" and pattern.trip_count > job.max_fsm_states:
+            return EvalRecord(
+                status=SKIPPED,
+                note=(
+                    f"sequence length {pattern.trip_count} exceeds "
+                    f"max_fsm_states={job.max_fsm_states}"
+                ),
+                duration_s=time.perf_counter() - start,
+                **base,
+            )
+        design = build_design(pattern, job.style, job.variant)
+        result = design.synthesize(
+            get_library(job.library), max_fanout=job.max_fanout
+        )
+    except (MappingError, NetlistError, ValueError) as error:
+        return EvalRecord(
+            status=SKIPPED,
+            note=str(error),
+            duration_s=time.perf_counter() - start,
+            **base,
+        )
+    except Exception:  # pragma: no cover - defensive; surfaced in the record
+        return EvalRecord(
+            status=ERROR,
+            note=traceback.format_exc(limit=3),
+            duration_s=time.perf_counter() - start,
+            **base,
+        )
+    return EvalRecord(
+        status=OK,
+        delay_ns=result.delay_ns,
+        area_cells=result.area_cells,
+        flip_flops=result.area.flip_flop_count,
+        total_cells=sum(result.area.cell_counts.values()),
+        buffers_inserted=result.buffers_inserted,
+        duration_s=time.perf_counter() - start,
+        **base,
+    )
+
+
+GroupKey = Tuple[str, int, int, str]  # (workload, rows, cols, library)
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign run produced."""
+
+    campaign: str
+    records: List[EvalRecord] = field(default_factory=list)
+
+    # -------------------------------------------------------------- queries
+    @property
+    def hits(self) -> int:
+        """Number of records served from the cache."""
+        return sum(1 for record in self.records if record.cached)
+
+    @property
+    def evaluated(self) -> int:
+        """Number of records evaluated fresh in this run."""
+        return len(self.records) - self.hits
+
+    def ok_records(self) -> List[EvalRecord]:
+        """Records with valid metrics."""
+        return [record for record in self.records if record.status == OK]
+
+    def groups(self) -> Dict[GroupKey, List[EvalRecord]]:
+        """Successful records grouped by (workload, rows, cols, library)."""
+        grouped: Dict[GroupKey, List[EvalRecord]] = {}
+        for record in self.ok_records():
+            key = (record.workload, record.rows, record.cols, record.library)
+            grouped.setdefault(key, []).append(record)
+        return grouped
+
+    def pareto_fronts(self) -> Dict[GroupKey, List[EvalRecord]]:
+        """Per-group Pareto fronts minimising (delay, area)."""
+        return {
+            key: pareto_min(records, key=lambda r: (r.delay_ns, r.area_cells))
+            for key, records in self.groups().items()
+        }
+
+    # ------------------------------------------------------------ reporting
+    def describe(self) -> str:
+        """Multi-line campaign summary with per-group Pareto fronts."""
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            counts[record.status] = counts.get(record.status, 0) + 1
+        lines = [
+            f"campaign {self.campaign!r}: {len(self.records)} points "
+            f"({counts.get(OK, 0)} ok, {counts.get(SKIPPED, 0)} skipped, "
+            f"{counts.get(ERROR, 0)} errors); "
+            f"cache hits {self.hits}/{len(self.records)}"
+        ]
+        for group_key, front in sorted(self.pareto_fronts().items()):
+            workload, rows, cols, library = group_key
+            lines.append(f"  {workload} {rows}x{cols} @{library}:")
+            for record in sorted(front, key=lambda r: r.delay_ns):
+                style = f"{record.style}[{record.variant}]"
+                lines.append(
+                    f"    * {style:<18} delay {record.delay_ns:7.3f} ns   "
+                    f"area {record.area_cells:10.1f} cu   FFs {record.flip_flops}"
+                )
+        return "\n".join(lines)
+
+
+class CampaignRunner:
+    """Run campaigns against a result cache, serially or in parallel.
+
+    Parameters
+    ----------
+    cache:
+        Result store to consult and populate; defaults to a fresh in-memory
+        cache (no persistence).
+    workers:
+        Worker process count.  ``None`` picks ``min(cpu_count, 8)``;
+        ``0``/``1`` runs serially in-process.
+    progress:
+        Optional callback invoked as ``progress(record, done, total)`` as
+        each record becomes available (cached records first, then fresh ones
+        in completion order).
+    """
+
+    def __init__(
+        self,
+        cache: Optional[ResultCache] = None,
+        *,
+        workers: Optional[int] = None,
+        progress: Optional[Callable[[EvalRecord, int, int], None]] = None,
+    ):
+        self.cache = cache if cache is not None else ResultCache()
+        if workers is None:
+            workers = min(os.cpu_count() or 1, 8)
+        self.workers = max(0, workers)
+        self.progress = progress
+
+    # ------------------------------------------------------------------ run
+    def run(self, campaign: Campaign, *, force: bool = False) -> CampaignResult:
+        """Evaluate ``campaign``, reusing cached records unless ``force``.
+
+        Records come back in campaign order regardless of worker completion
+        order, so serial and parallel runs produce identical results.
+        """
+        total = len(campaign.jobs)
+        done = 0
+        by_key: Dict[str, EvalRecord] = {}
+        pending: List[EvalJob] = []
+
+        for job in campaign.jobs:
+            cached = None if force else self.cache.get(job.key)
+            if cached is not None:
+                record = EvalRecord.from_dict(cached, cached=True)
+                by_key[job.key] = record
+                done += 1
+                if self.progress:
+                    self.progress(record, done, total)
+            elif job.key not in by_key and job not in pending:
+                pending.append(job)
+
+        for record in self._evaluate(pending):
+            # Error records are transient (a worker OOM, say) -- caching them
+            # would replay the failure forever; only determinate outcomes
+            # (metrics, or a deterministic inapplicability) are persisted.
+            if record.status != ERROR:
+                self.cache.put(record.key, record.to_dict())
+            by_key[record.key] = record
+            done += 1
+            if self.progress:
+                self.progress(record, done, total)
+
+        records = [by_key[job.key] for job in campaign.jobs]
+        return CampaignResult(campaign=campaign.name, records=records)
+
+    # ------------------------------------------------------------- internal
+    def _evaluate(self, jobs: List[EvalJob]):
+        if not jobs:
+            return
+        produced: set = set()
+        if self.workers > 1 and len(jobs) > 1:
+            try:
+                for record in self._evaluate_parallel(jobs):
+                    produced.add(record.key)
+                    yield record
+                return
+            except (
+                OSError,
+                ImportError,
+                BrokenProcessPool,
+            ) as error:  # pragma: no cover - environment dependent
+                # Sandboxes without fork support or /dev/shm land here; the
+                # campaign still completes, just serially.
+                print(f"process pool unavailable ({error}); falling back to serial")
+        for job in jobs:
+            if job.key not in produced:
+                yield evaluate_job(job)
+
+    def _evaluate_parallel(self, jobs: List[EvalJob]):
+        max_workers = min(self.workers, len(jobs))
+        with concurrent.futures.ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = [pool.submit(evaluate_job, job) for job in jobs]
+            for future in concurrent.futures.as_completed(futures):
+                yield future.result()

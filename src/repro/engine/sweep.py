@@ -1,0 +1,133 @@
+"""Built-in campaign factories.
+
+Each factory reproduces one of the paper's sweeps -- Figure 8 (delay versus
+array size) and Figure 10 (area versus array size) -- or opens a new grid
+the paper only gestures at: cross-workload comparisons, FIFO depth scans,
+library-corner sensitivity.  Factories are registered by name so the CLI
+(``sradgen --campaign NAME``) and the benchmarks can invoke them as data.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.engine.jobs import Campaign, EvalJob
+
+__all__ = ["CAMPAIGNS", "available_campaigns", "build_campaign", "register_campaign"]
+
+CampaignFactory = Callable[[], Campaign]
+
+#: Registered campaign factories, by name.
+CAMPAIGNS: Dict[str, CampaignFactory] = {}
+
+
+def register_campaign(factory: CampaignFactory) -> CampaignFactory:
+    """Register a campaign factory under the name of the campaign it builds."""
+    CAMPAIGNS[factory().name] = factory
+    return factory
+
+
+def available_campaigns() -> List[str]:
+    """Registered campaign names, sorted."""
+    return sorted(CAMPAIGNS)
+
+
+def build_campaign(name: str) -> Campaign:
+    """Instantiate the registered campaign ``name``."""
+    try:
+        factory = CAMPAIGNS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown campaign {name!r}; available: {', '.join(available_campaigns())}"
+        ) from None
+    return factory()
+
+
+@register_campaign
+def smoke_campaign() -> Campaign:
+    """Tiny grid used by CI and the test suite (seconds, not minutes)."""
+    return Campaign.from_grid(
+        "smoke",
+        workloads=("fifo", "dct"),
+        geometries=((4, 4),),
+        description="2 workloads x one 4x4 array x all styles (CI smoke test)",
+    )
+
+
+@register_campaign
+def demo_campaign() -> Campaign:
+    """The headline campaign: 4 workloads x 3 array sizes x all styles."""
+    return Campaign.from_grid(
+        "demo",
+        workloads=("fifo", "dct", "motion_est_read", "zoombytwo"),
+        geometries=((4, 4), (8, 8), (16, 16)),
+        description="4 workloads x 3 array sizes x all styles (quickstart demo)",
+    )
+
+
+@register_campaign
+def fig8_campaign() -> Campaign:
+    """Figure 8: SRAG vs CntAG delay as the array grows."""
+    return Campaign.from_grid(
+        "fig8",
+        workloads=("motion_est_read",),
+        geometries=((8, 8), (16, 16), (32, 32), (64, 64)),
+        styles=(("SRAG", "two-hot"), ("CntAG", "decoders")),
+        description="paper Fig. 8 -- motion-estimation delay vs array size",
+    )
+
+
+@register_campaign
+def fig10_campaign() -> Campaign:
+    """Figure 10: SRAG vs CntAG area as the array grows."""
+    return Campaign.from_grid(
+        "fig10",
+        workloads=("motion_est_read", "motion_est_write"),
+        geometries=((8, 8), (16, 16), (32, 32), (64, 64)),
+        styles=(("SRAG", "two-hot"), ("CntAG", "decoders"), ("CntAG", "adders")),
+        description="paper Fig. 10 -- motion-estimation area vs array size",
+    )
+
+
+@register_campaign
+def cross_workload_campaign() -> Campaign:
+    """Every Table 3 workload across geometries -- the paper's open grid."""
+    return Campaign.from_grid(
+        "cross_workload",
+        workloads=(
+            "fifo",
+            "dct",
+            "dct_row",
+            "motion_est_read",
+            "motion_est_write",
+            "zoombytwo",
+            "strided",
+            "block_raster",
+            "interleaved_row",
+        ),
+        geometries=((4, 4), (8, 8), (16, 16)),
+        description="9 workloads x 3 array sizes x all styles",
+    )
+
+
+@register_campaign
+def fifo_depth_campaign() -> Campaign:
+    """FIFO/incremental access at many depths (the Figures 3-4 axis)."""
+    return Campaign.from_grid(
+        "fifo_depths",
+        workloads=("fifo",),
+        geometries=((4, 4), (4, 8), (8, 8), (8, 16), (16, 16), (16, 32), (32, 32)),
+        description="FIFO at 7 depths x all styles (Figs. 3-4 axis)",
+    )
+
+
+@register_campaign
+def library_corners_campaign() -> Campaign:
+    """Library-corner sensitivity: the demo grid under all three corners."""
+    return Campaign.from_grid(
+        "library_corners",
+        workloads=("fifo", "dct", "motion_est_read"),
+        geometries=((8, 8), (16, 16)),
+        libraries=("std018", "std018_fast", "std018_lp"),
+        description="3 workloads x 2 sizes x 3 library corners x all styles",
+    )

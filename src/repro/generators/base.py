@@ -56,7 +56,7 @@ class AddressGeneratorDesign(abc.ABC):
         return self._netlist
 
     def invalidate(self) -> None:
-        """Drop the cached netlist (e.g. after synthesis modified it)."""
+        """Drop the cached netlist so the next access re-elaborates."""
         self._netlist = None
 
     def verify(self, cycles: Optional[int] = None) -> bool:
@@ -75,13 +75,13 @@ class AddressGeneratorDesign(abc.ABC):
         max_fanout: int = 8,
         metadata: Optional[Dict[str, object]] = None,
     ) -> SynthesisResult:
-        """Run the synthesis flow on a fresh elaboration of the design.
+        """Run the synthesis flow on the design's netlist.
 
-        A fresh netlist is used so that repeated synthesis runs (or synthesis
-        after simulation) never see a netlist already modified by buffer
-        insertion.
+        The flow buffers a private clone of the netlist, so repeated
+        synthesis runs (under different libraries, say) all start from the
+        same un-buffered design.
         """
-        netlist = self.elaborate()
+        netlist = self.netlist
         info: Dict[str, object] = {
             "style": self.style,
             "workload": self.sequence.name,

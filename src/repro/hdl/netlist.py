@@ -306,6 +306,34 @@ class Netlist:
             name=f"const{value}",
         )
 
+    # ----------------------------------------------------------------- copy
+    def clone(self) -> "Netlist":
+        """Deep copy of the netlist (cells, nets and ports all re-created).
+
+        Transformations that rewrite structure (buffer insertion, the
+        synthesis flow) operate on a clone so the original netlist stays
+        pristine and can be re-synthesised, re-simulated or emitted again.
+
+        The copy is rebuilt structurally rather than via ``copy.deepcopy``:
+        the driver/load links between nets and cells form chains as deep as
+        the longest shift register, which overflows the recursion limit for
+        large arrays.
+        """
+        other = Netlist(self.name)
+        for name, net in self._nets.items():
+            other.net(name).is_input = net.is_input
+        for name in self._inputs:
+            other._inputs[name] = other._nets[name]
+        for cell in self._cells.values():
+            other.add_cell(
+                cell.cell_type,
+                name=cell.name,
+                **{pin: other._nets[net.name] for pin, net in cell.pins.items()},
+            )
+        for port_name, net in self._outputs.items():
+            other._outputs[port_name] = other._nets[net.name]
+        return other
+
     # ---------------------------------------------------------- introspection
     def sequential_cells(self) -> List[Cell]:
         """Return all flip-flop cells."""

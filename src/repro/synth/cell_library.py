@@ -21,10 +21,19 @@ area/delay match the ranges the paper reports for its 0.18 um flow; the
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional
 
-__all__ = ["CellCharacteristics", "CellLibrary", "STD018"]
+__all__ = [
+    "CellCharacteristics",
+    "CellLibrary",
+    "LIBRARIES",
+    "STD018",
+    "get_library",
+    "library_fingerprint",
+]
 
 
 @dataclass(frozen=True)
@@ -220,3 +229,50 @@ def _build_std018() -> CellLibrary:
 #: Default 0.18 um-class standard-cell library used throughout the
 #: reproduction.
 STD018: CellLibrary = _build_std018()
+
+#: Named library registry used by campaign specs (which refer to libraries by
+#: name so that jobs stay serialisable).  ``std018_fast`` models a
+#: high-performance corner (faster, cells up-sized); ``std018_lp`` a low-power
+#: corner (slower, denser).
+LIBRARIES: Dict[str, CellLibrary] = {
+    "std018": STD018,
+    "std018_fast": STD018.scaled("std018_fast", area_scale=1.15, delay_scale=0.8),
+    "std018_lp": STD018.scaled("std018_lp", area_scale=0.9, delay_scale=1.3),
+}
+
+
+def get_library(name: str) -> CellLibrary:
+    """Look up a registered library by name."""
+    try:
+        return LIBRARIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown cell library {name!r}; available: {', '.join(sorted(LIBRARIES))}"
+        ) from None
+
+
+def library_fingerprint(library: CellLibrary) -> str:
+    """Short content digest of a library's characterisation.
+
+    Campaign job keys embed this fingerprint so that recalibrating a library
+    invalidates cached results evaluated against the old numbers.
+    """
+    payload = {
+        "name": library.name,
+        "tau": library.tau,
+        "wire_cap_per_fanout": library.wire_cap_per_fanout,
+        "cells": {
+            cell_type: [
+                char.area,
+                char.input_cap,
+                char.logical_effort,
+                char.parasitic_delay,
+                char.clk_to_q,
+                char.setup,
+                char.sequential,
+            ]
+            for cell_type, char in sorted(library.cells.items())
+        },
+    }
+    digest = hashlib.sha256(json.dumps(payload, sort_keys=True).encode("utf-8"))
+    return digest.hexdigest()[:16]

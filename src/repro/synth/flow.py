@@ -33,8 +33,10 @@ def run_synthesis_flow(
     Parameters
     ----------
     netlist:
-        The design to evaluate.  The netlist is modified in place by buffer
-        insertion (as a synthesis tool would modify its working copy).
+        The design to evaluate.  Buffer insertion runs on a private clone
+        (the synthesis tool's working copy), so the caller's netlist is left
+        untouched and can be re-synthesised -- under another library, say --
+        without accumulating buffer trees.
     library:
         Standard-cell characterisation to use.
     max_fanout:
@@ -45,9 +47,10 @@ def run_synthesis_flow(
         Extra key/value pairs propagated into the result.
     """
     netlist.validate()
-    buffers = insert_buffer_trees(netlist, max_fanout=max_fanout)
-    timing = timing_report(netlist, library)
-    area = area_report(netlist, library)
+    working_copy = netlist.clone()
+    buffers = insert_buffer_trees(working_copy, max_fanout=max_fanout)
+    timing = timing_report(working_copy, library)
+    area = area_report(working_copy, library)
     return SynthesisResult(
         name=name or netlist.name,
         area=area,

@@ -25,6 +25,12 @@ from repro.workloads.sequences import (
     consecutive_repetitions,
 )
 from repro.workloads import dct, fifo, motion_estimation, patterns, zoom
+from repro.workloads.registry import (
+    WORKLOADS,
+    available_workloads,
+    build_pattern,
+    register_workload,
+)
 from repro.workloads.dct import column_pass_pattern, column_pass_sequence
 from repro.workloads.fifo import fifo_pattern, fifo_sequence, incremental_sequence
 from repro.workloads.motion_estimation import (
@@ -40,6 +46,10 @@ __all__ = [
     "AffineAccessPattern",
     "AffineExpression",
     "Loop",
+    "WORKLOADS",
+    "available_workloads",
+    "build_pattern",
+    "register_workload",
     "collapse_repetitions",
     "consecutive_repetitions",
     "dct",

@@ -1,0 +1,399 @@
+"""Tests for the campaign engine: jobs, cache, runner, sweeps and CLI."""
+
+import json
+import random
+
+import pytest
+
+from repro.analysis.explorer import DesignPoint, pareto_front
+from repro.cli import main
+from repro.engine.cache import ResultCache
+from repro.engine.jobs import Campaign, EvalJob, STYLE_VARIANTS, build_design
+from repro.engine.pareto import pareto_indices, pareto_min
+from repro.engine.runner import CampaignResult, CampaignRunner, EvalRecord, evaluate_job
+from repro.engine.sweep import available_campaigns, build_campaign
+from repro.workloads.registry import available_workloads, build_pattern
+
+
+# ---------------------------------------------------------------------------
+# Job keys
+# ---------------------------------------------------------------------------
+
+def test_job_key_is_stable_and_deterministic():
+    job = EvalJob("fifo", 4, 4, "SRAG", "two-hot")
+    assert job.key == EvalJob("fifo", 4, 4, "SRAG", "two-hot").key
+    assert len(job.key) == 64
+    int(job.key, 16)  # hex digest
+
+
+def test_job_key_distinguishes_every_axis():
+    base = EvalJob("fifo", 4, 4, "SRAG", "two-hot")
+    variants = [
+        EvalJob("dct", 4, 4, "SRAG", "two-hot"),
+        EvalJob("fifo", 8, 4, "SRAG", "two-hot"),
+        EvalJob("fifo", 4, 8, "SRAG", "two-hot"),
+        EvalJob("fifo", 4, 4, "CntAG", "decoders"),
+        EvalJob("fifo", 4, 4, "SRAG", "two-hot", library="std018_lp"),
+        EvalJob("fifo", 4, 4, "SRAG", "two-hot", max_fanout=4),
+    ]
+    keys = {base.key} | {job.key for job in variants}
+    assert len(keys) == len(variants) + 1
+
+
+def test_job_key_covers_library_characterisation(monkeypatch):
+    """Recalibrating a library must invalidate its cached results."""
+    from repro.synth import cell_library
+
+    job = EvalJob("fifo", 4, 4, "SRAG", "two-hot")
+    key_before = job.key
+    scaled = cell_library.STD018.scaled("std018", area_scale=2.0)
+    monkeypatch.setitem(cell_library.LIBRARIES, "std018", scaled)
+    assert job.key != key_before
+
+
+def test_grid_expansion_covers_cross_product():
+    campaign = Campaign.from_grid(
+        "grid",
+        workloads=("fifo", "dct"),
+        geometries=((4, 4), (8, 8)),
+        libraries=("std018", "std018_lp"),
+    )
+    assert len(campaign) == 2 * 2 * 2 * len(STYLE_VARIANTS)
+    assert len({job.key for job in campaign}) == len(campaign)
+
+
+# ---------------------------------------------------------------------------
+# Evaluation
+# ---------------------------------------------------------------------------
+
+def test_evaluate_job_ok_and_skipped():
+    ok = evaluate_job(EvalJob("fifo", 4, 4, "SRAG", "two-hot"))
+    assert ok.status == "ok"
+    assert ok.delay_ns > 0 and ok.area_cells > 0 and ok.flip_flops > 0
+
+    skipped = evaluate_job(EvalJob("dct", 4, 4, "SFM", "pointers"))
+    assert skipped.status == "skipped"
+    assert skipped.note
+
+
+def test_evaluate_job_respects_max_fsm_states():
+    record = evaluate_job(EvalJob("fifo", 4, 4, "FSM", "binary", max_fsm_states=4))
+    assert record.status == "skipped"
+    assert "max_fsm_states" in record.note
+
+
+def test_build_design_matches_explorer_styles():
+    pattern = build_pattern("fifo", 4, 4)
+    design = build_design(pattern, "CntAG", "adders")
+    assert design.style == "CntAG"
+    with pytest.raises(KeyError):
+        build_design(pattern, "SRAG", "nope")
+
+
+def test_record_round_trips_through_dict():
+    record = evaluate_job(EvalJob("fifo", 4, 4, "SRAG", "two-hot"))
+    rebuilt = EvalRecord.from_dict(record.to_dict(), cached=True)
+    assert rebuilt.cached and not record.cached
+    assert rebuilt.to_dict() == record.to_dict()
+
+
+# ---------------------------------------------------------------------------
+# Cache
+# ---------------------------------------------------------------------------
+
+def test_cache_hit_miss_and_persistence(tmp_path):
+    cache = ResultCache(str(tmp_path / "cache"))
+    assert cache.get("k") is None and "k" not in cache
+    cache.put("k", {"value": 1})
+    assert cache.get("k") == {"value": 1} and "k" in cache
+
+    reloaded = ResultCache(str(tmp_path / "cache"))
+    assert reloaded.get("k") == {"value": 1}
+    assert len(reloaded) == 1
+
+
+def test_cache_last_write_wins_and_compact(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cache.put("k", {"value": 1})
+    cache.put("k", {"value": 2})
+    assert ResultCache(str(tmp_path)).get("k") == {"value": 2}
+    assert sum(1 for _ in open(cache.path)) == 2
+    cache.compact()
+    assert sum(1 for _ in open(cache.path)) == 1
+    assert ResultCache(str(tmp_path)).get("k") == {"value": 2}
+
+
+def test_cache_tolerates_torn_final_line(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cache.put("k", {"value": 1})
+    with open(cache.path, "a", encoding="utf-8") as handle:
+        handle.write('{"key": "torn", "rec')  # killed mid-write
+    reloaded = ResultCache(str(tmp_path))
+    assert reloaded.get("k") == {"value": 1}
+    assert "torn" not in reloaded
+
+
+def test_in_memory_cache_does_not_persist():
+    cache = ResultCache(None)
+    cache.put("k", {"value": 1})
+    assert cache.path is None
+    assert cache.get("k") == {"value": 1}
+
+
+# ---------------------------------------------------------------------------
+# Runner
+# ---------------------------------------------------------------------------
+
+def _tiny_campaign():
+    return Campaign.from_grid(
+        "tiny",
+        workloads=("fifo",),
+        geometries=((4, 4),),
+        styles=(("SRAG", "two-hot"), ("CntAG", "decoders"), ("SFM", "pointers")),
+    )
+
+
+def test_second_run_is_all_cache_hits(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cold = CampaignRunner(cache, workers=0).run(_tiny_campaign())
+    assert cold.hits == 0 and cold.evaluated == len(cold.records)
+
+    warm = CampaignRunner(ResultCache(str(tmp_path)), workers=0).run(_tiny_campaign())
+    assert warm.hits == len(warm.records) and warm.evaluated == 0
+    assert [r.to_dict() for r in warm.records] == [r.to_dict() for r in cold.records]
+
+
+def test_error_records_are_not_cached(tmp_path, monkeypatch):
+    """A transient failure must be retried on the next run, not replayed."""
+    from repro.engine import runner as runner_module
+
+    campaign = Campaign("one", [EvalJob("fifo", 4, 4, "SRAG", "two-hot")])
+    job = campaign.jobs[0]
+
+    def explode(j):
+        return EvalRecord(
+            workload=j.workload, rows=j.rows, cols=j.cols, style=j.style,
+            variant=j.variant, library=j.library, key=j.key,
+            status="error", note="transient worker failure",
+        )
+
+    monkeypatch.setattr(runner_module, "evaluate_job", explode)
+    first = CampaignRunner(ResultCache(str(tmp_path)), workers=0).run(campaign)
+    assert first.records[0].status == "error"
+    assert job.key not in ResultCache(str(tmp_path))
+
+    monkeypatch.undo()
+    second = CampaignRunner(ResultCache(str(tmp_path)), workers=0).run(campaign)
+    assert second.records[0].status == "ok" and second.hits == 0
+
+
+def test_force_re_evaluates_despite_cache(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    CampaignRunner(cache, workers=0).run(_tiny_campaign())
+    forced = CampaignRunner(cache, workers=0).run(_tiny_campaign(), force=True)
+    assert forced.hits == 0
+
+
+def test_serial_and_parallel_runs_are_identical():
+    campaign = build_campaign("smoke")
+    serial = CampaignRunner(ResultCache(None), workers=0).run(campaign)
+    parallel = CampaignRunner(ResultCache(None), workers=4).run(campaign)
+
+    def strip(result):
+        # duration_s is wall-clock and legitimately differs between runs;
+        # NaN metrics (skipped points) are mapped to None so they compare equal
+        return [
+            {
+                k: None if isinstance(v, float) and v != v else v
+                for k, v in r.to_dict().items()
+                if k != "duration_s"
+            }
+            for r in result.records
+        ]
+
+    assert strip(serial) == strip(parallel)
+    assert {
+        group: [r.key for r in front]
+        for group, front in serial.pareto_fronts().items()
+    } == {
+        group: [r.key for r in front]
+        for group, front in parallel.pareto_fronts().items()
+    }
+
+
+def test_progress_callback_sees_every_record(tmp_path):
+    campaign = _tiny_campaign()
+    seen = []
+    runner = CampaignRunner(
+        ResultCache(str(tmp_path)),
+        workers=0,
+        progress=lambda record, done, total: seen.append((record.key, done, total)),
+    )
+    runner.run(campaign)
+    assert len(seen) == len(campaign)
+    assert [done for _, done, _ in seen] == list(range(1, len(campaign) + 1))
+
+
+def test_campaign_result_groups_and_describe(tmp_path):
+    result = CampaignRunner(ResultCache(str(tmp_path)), workers=0).run(
+        build_campaign("smoke")
+    )
+    groups = result.groups()
+    assert ("fifo", 4, 4, "std018") in groups
+    assert ("dct", 4, 4, "std018") in groups
+    for front in result.pareto_fronts().values():
+        assert front
+    text = result.describe()
+    assert "cache hits" in text and "fifo 4x4" in text
+
+
+def test_registered_campaigns_all_build():
+    for name in available_campaigns():
+        campaign = build_campaign(name)
+        assert campaign.name == name
+        assert len(campaign) > 0
+        for job in campaign:
+            assert job.workload in available_workloads()
+
+
+# ---------------------------------------------------------------------------
+# Pareto sweep
+# ---------------------------------------------------------------------------
+
+def _brute_force_front(objectives):
+    front = []
+    for i, (x, y) in enumerate(objectives):
+        dominated = any(
+            ox <= x and oy <= y and (ox < x or oy < y) for ox, oy in objectives
+        )
+        if not dominated:
+            front.append(i)
+    return front
+
+
+def test_pareto_sweep_matches_brute_force():
+    rng = random.Random(42)
+    for _ in range(50):
+        objectives = [
+            (rng.randrange(10) / 2.0, rng.randrange(10) / 2.0)
+            for _ in range(rng.randrange(1, 40))
+        ]
+        assert pareto_indices(objectives) == _brute_force_front(objectives)
+
+
+def test_pareto_sweep_keeps_duplicate_frontier_points():
+    objectives = [(1.0, 2.0), (1.0, 2.0), (2.0, 1.0), (2.0, 2.0)]
+    assert pareto_indices(objectives) == [0, 1, 2]
+
+
+def test_pareto_sweep_keeps_nan_points():
+    nan = float("nan")
+    assert pareto_indices([(1.0, 1.0), (nan, 2.0), (2.0, 2.0)]) == [0, 1]
+
+
+def test_explorer_pareto_front_uses_sweep():
+    points = [
+        DesignPoint("A", "", 1.0, 100.0, 0),
+        DesignPoint("B", "", 2.0, 50.0, 0),
+        DesignPoint("C", "", 2.5, 200.0, 0),
+    ]
+    front = pareto_front(points)
+    assert front == points[:2]
+    assert pareto_min(points, key=lambda p: (p.delay_ns, p.area_cells)) == front
+
+
+# ---------------------------------------------------------------------------
+# CLI round-trips
+# ---------------------------------------------------------------------------
+
+def test_cli_list_campaigns(capsys):
+    assert main(["--list-campaigns"]) == 0
+    out = capsys.readouterr().out
+    assert "demo" in out and "smoke" in out
+
+
+def test_cli_campaign_cold_then_warm(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    assert main(["--campaign", "smoke", "--cache-dir", cache_dir, "--serial"]) == 0
+    cold = capsys.readouterr().out
+    assert "cache hits 0/16" in cold
+
+    assert main(["--campaign", "smoke", "--cache-dir", cache_dir, "--serial"]) == 0
+    warm = capsys.readouterr().out
+    assert "cache hits 16/16" in warm
+    # Metrics identical across the two runs.
+    assert cold.split("cache hits")[1].splitlines()[1:] == \
+        warm.split("cache hits")[1].splitlines()[1:]
+
+
+def test_cli_campaign_quiet_suppresses_progress(tmp_path, capsys):
+    assert main([
+        "--campaign", "smoke", "--cache-dir", str(tmp_path), "--serial", "--quiet",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "[ 1/16]" not in out
+    assert "cache hits" in out
+
+
+def test_cli_explore_still_works(capsys):
+    assert main(["--workload", "fifo", "--rows", "4", "--cols", "4", "--explore"]) == 0
+    out = capsys.readouterr().out
+    assert "design space" in out and "SRAG" in out
+
+
+def test_cli_requires_rows_cols_for_single_runs(capsys):
+    with pytest.raises(SystemExit):
+        main(["--workload", "fifo"])
+    assert "--rows and --cols are required" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# Synthesis flow no longer mutates its input netlist
+# ---------------------------------------------------------------------------
+
+def test_synthesize_is_idempotent_across_libraries():
+    from repro.generators.srag_design import SragDesign
+    from repro.synth.cell_library import get_library
+    from repro.workloads.fifo import incremental_sequence
+
+    design = SragDesign(incremental_sequence(32))
+    first = design.synthesize(get_library("std018"))
+    other = design.synthesize(get_library("std018_lp"))
+    again = design.synthesize(get_library("std018"))
+    assert first.buffers_inserted == other.buffers_inserted == again.buffers_inserted
+    assert first.area_cells == again.area_cells
+    assert first.delay_ns == again.delay_ns
+
+
+def test_run_synthesis_flow_leaves_netlist_untouched():
+    from repro.generators.srag_design import SragDesign
+    from repro.synth.flow import run_synthesis_flow
+    from repro.workloads.fifo import incremental_sequence
+
+    netlist = SragDesign(incremental_sequence(32)).elaborate()
+    cells_before = set(netlist.cells)
+    result = run_synthesis_flow(netlist)
+    assert result.buffers_inserted > 0
+    assert set(netlist.cells) == cells_before
+
+
+def test_netlist_clone_is_deep_and_equivalent():
+    from repro.generators.srag_design import SragDesign
+    from repro.synth.flow import run_synthesis_flow
+    from repro.workloads.fifo import incremental_sequence
+
+    netlist = SragDesign(incremental_sequence(64)).elaborate()
+    clone = netlist.clone()
+    assert clone is not netlist
+    assert set(clone.cells) == set(netlist.cells)
+    assert set(clone.nets) == set(netlist.nets)
+    assert set(clone.inputs) == set(netlist.inputs)
+    assert set(clone.outputs) == set(netlist.outputs)
+    # Same synthesis result from the clone...
+    original = run_synthesis_flow(netlist)
+    cloned = run_synthesis_flow(clone)
+    assert cloned.area_cells == original.area_cells
+    assert cloned.delay_ns == original.delay_ns
+    # ...and mutating the clone does not leak into the original.
+    clone.add_input("fresh_input")
+    assert "fresh_input" not in netlist.inputs
