@@ -149,23 +149,32 @@ def _load_sequence(args: argparse.Namespace) -> AddressSequence:
     )
 
 
+def _format_progress(record: EvalRecord, done: int, total: int) -> str:
+    """One campaign progress line; tolerates records with empty notes."""
+    source = "cached" if record.cached else f"{record.duration_s * 1000:.0f} ms"
+    if record.status == "ok":
+        detail = (
+            f"delay {record.delay_ns:7.3f} ns   area {record.area_cells:10.1f} cu"
+        )
+        if record.has_power:
+            detail += f"   e/access {record.energy_per_access_fj:8.1f} fJ"
+    else:
+        note_lines = record.note.splitlines()
+        first_line = note_lines[0] if note_lines else ""
+        detail = f"{record.status}: {first_line[:60]}"
+    return (
+        f"  [{done:>{len(str(total))}}/{total}] "
+        f"{record.label:<42} {detail}  ({source})"
+    )
+
+
 def _run_campaign(args: argparse.Namespace) -> int:
     campaign = build_campaign(args.campaign)
     cache = ResultCache(args.cache_dir)
     workers = 0 if args.serial else args.workers
 
     def progress(record: EvalRecord, done: int, total: int) -> None:
-        source = "cached" if record.cached else f"{record.duration_s * 1000:.0f} ms"
-        if record.status == "ok":
-            detail = (
-                f"delay {record.delay_ns:7.3f} ns   area {record.area_cells:10.1f} cu"
-            )
-        else:
-            detail = f"{record.status}: {record.note.splitlines()[0][:60]}"
-        print(
-            f"  [{done:>{len(str(total))}}/{total}] "
-            f"{record.label:<42} {detail}  ({source})"
-        )
+        print(_format_progress(record, done, total))
 
     print(
         f"campaign {args.campaign!r}: {len(campaign)} jobs, "

@@ -126,6 +126,10 @@ class EvalJob:
 
     All fields are plain data so the job survives pickling into worker
     processes and JSON round-trips through the result cache.
+
+    ``power_cycles > 0`` additionally runs the switching-activity power
+    study (on the compiled simulator) over that many cycles; the resulting
+    record then carries ``energy_per_access_fj`` / ``avg_power_uw``.
     """
 
     workload: str
@@ -136,10 +140,11 @@ class EvalJob:
     library: str = "std018"
     max_fanout: int = 8
     max_fsm_states: int = 512
+    power_cycles: int = 0
 
     def spec(self) -> dict:
         """Canonical dictionary form of the job (what gets hashed)."""
-        return {
+        spec = {
             "version": SPEC_VERSION,
             "workload": self.workload,
             "rows": self.rows,
@@ -151,6 +156,11 @@ class EvalJob:
             "max_fanout": self.max_fanout,
             "max_fsm_states": self.max_fsm_states,
         }
+        # Only present when the power study is enabled, so every pre-power
+        # job keeps its original key and cached results stay valid.
+        if self.power_cycles:
+            spec["power_cycles"] = self.power_cycles
+        return spec
 
     @property
     def key(self) -> str:
@@ -211,6 +221,7 @@ class Campaign:
         libraries: Sequence[str] = ("std018",),
         max_fanout: int = 8,
         max_fsm_states: int = 512,
+        power_cycles: int = 0,
         description: str = "",
     ) -> "Campaign":
         """Expand a full cross-product grid into a campaign.
@@ -218,7 +229,9 @@ class Campaign:
         ``styles`` defaults to every architecture the library knows
         (:data:`STYLE_VARIANTS`); architectures that turn out to be
         inapplicable to a particular workload are recorded as skipped at
-        evaluation time rather than excluded up front.
+        evaluation time rather than excluded up front.  A non-zero
+        ``power_cycles`` additionally runs the switching-activity power
+        study over that many simulated cycles at every grid point.
         """
         chosen = tuple(styles) if styles is not None else STYLE_VARIANTS
         jobs = [
@@ -231,6 +244,7 @@ class Campaign:
                 library=library,
                 max_fanout=max_fanout,
                 max_fsm_states=max_fsm_states,
+                power_cycles=power_cycles,
             )
             for workload in workloads
             for rows, cols in geometries

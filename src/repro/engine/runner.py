@@ -30,6 +30,7 @@ from repro.engine.jobs import Campaign, EvalJob, build_design
 from repro.engine.pareto import pareto_min
 from repro.hdl.netlist import NetlistError
 from repro.synth.cell_library import get_library
+from repro.synth.power import estimate_power
 
 __all__ = ["CampaignResult", "CampaignRunner", "EvalRecord", "evaluate_job"]
 
@@ -44,6 +45,11 @@ class EvalRecord:
     ``status`` is ``"ok"`` (metrics valid), ``"skipped"`` (architecture not
     applicable to the workload; ``note`` holds the reason) or ``"error"``
     (unexpected failure; ``note`` holds the traceback summary).
+
+    ``energy_per_access_fj`` / ``avg_power_uw`` are NaN unless the job asked
+    for the power study (``EvalJob.power_cycles > 0``); records cached before
+    power existed load fine -- :meth:`from_dict` fills missing fields with
+    their defaults.
     """
 
     workload: str
@@ -59,9 +65,16 @@ class EvalRecord:
     flip_flops: int = 0
     total_cells: int = 0
     buffers_inserted: int = 0
+    energy_per_access_fj: float = float("nan")
+    avg_power_uw: float = float("nan")
     note: str = ""
     duration_s: float = 0.0
     cached: bool = False
+
+    @property
+    def has_power(self) -> bool:
+        """True when the record carries power-study metrics."""
+        return self.energy_per_access_fj == self.energy_per_access_fj
 
     @property
     def label(self) -> str:
@@ -69,9 +82,17 @@ class EvalRecord:
         return f"{self.workload} {self.rows}x{self.cols} {self.style}[{self.variant}]"
 
     def to_dict(self) -> dict:
-        """Plain-dict form stored in the result cache (``cached`` excluded)."""
+        """Plain-dict form stored in the result cache (``cached`` excluded).
+
+        The power fields are omitted when the study did not run, so cache
+        entries for power-less jobs keep the exact pre-power format (and
+        NaN never has to survive a JSON round-trip).
+        """
         data = asdict(self)
         data.pop("cached")
+        if not self.has_power:
+            data.pop("energy_per_access_fj")
+            data.pop("avg_power_uw")
         return data
 
     @classmethod
@@ -111,9 +132,19 @@ def evaluate_job(job: EvalJob) -> EvalRecord:
                 **base,
             )
         design = build_design(pattern, job.style, job.variant)
-        result = design.synthesize(
-            get_library(job.library), max_fanout=job.max_fanout
-        )
+        library = get_library(job.library)
+        result = design.synthesize(library, max_fanout=job.max_fanout)
+        power: Dict[str, float] = {}
+        if job.power_cycles:
+            # Measure on the buffered working copy the area/delay figures
+            # came from, so inserted buffer trees pay their switching energy.
+            report = estimate_power(
+                result.netlist, library=library, cycles=job.power_cycles
+            )
+            power = {
+                "energy_per_access_fj": report.energy_per_access_fj,
+                "avg_power_uw": report.average_power_uw,
+            }
     except (MappingError, NetlistError, ValueError) as error:
         return EvalRecord(
             status=SKIPPED,
@@ -136,6 +167,7 @@ def evaluate_job(job: EvalJob) -> EvalRecord:
         total_cells=sum(result.area.cell_counts.values()),
         buffers_inserted=result.buffers_inserted,
         duration_s=time.perf_counter() - start,
+        **power,
         **base,
     )
 
@@ -197,9 +229,15 @@ class CampaignResult:
             lines.append(f"  {workload} {rows}x{cols} @{library}:")
             for record in sorted(front, key=lambda r: r.delay_ns):
                 style = f"{record.style}[{record.variant}]"
+                power = (
+                    f"   e/access {record.energy_per_access_fj:8.1f} fJ"
+                    if record.has_power
+                    else ""
+                )
                 lines.append(
                     f"    * {style:<18} delay {record.delay_ns:7.3f} ns   "
                     f"area {record.area_cells:10.1f} cu   FFs {record.flip_flops}"
+                    f"{power}"
                 )
         return "\n".join(lines)
 
@@ -245,6 +283,11 @@ class CampaignRunner:
         done = 0
         by_key: Dict[str, EvalRecord] = {}
         pending: List[EvalJob] = []
+        # Campaigns may legitimately contain duplicate keys (a grid that
+        # revisits a point); each duplicate is evaluated once but must still
+        # advance the progress counter once per occurrence, or `done` never
+        # reaches `total`.
+        pending_occurrences: Dict[str, int] = {}
 
         for job in campaign.jobs:
             cached = None if force else self.cache.get(job.key)
@@ -254,8 +297,11 @@ class CampaignRunner:
                 done += 1
                 if self.progress:
                     self.progress(record, done, total)
-            elif job.key not in by_key and job not in pending:
-                pending.append(job)
+            else:
+                if job.key not in pending_occurrences:
+                    pending.append(job)
+                    pending_occurrences[job.key] = 0
+                pending_occurrences[job.key] += 1
 
         for record in self._evaluate(pending):
             # Error records are transient (a worker OOM, say) -- caching them
@@ -264,9 +310,10 @@ class CampaignRunner:
             if record.status != ERROR:
                 self.cache.put(record.key, record.to_dict())
             by_key[record.key] = record
-            done += 1
-            if self.progress:
-                self.progress(record, done, total)
+            for _ in range(pending_occurrences.get(record.key, 1)):
+                done += 1
+                if self.progress:
+                    self.progress(record, done, total)
 
         records = [by_key[job.key] for job in campaign.jobs]
         return CampaignResult(campaign=campaign.name, records=records)

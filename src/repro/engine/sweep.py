@@ -122,6 +122,31 @@ def fifo_depth_campaign() -> Campaign:
 
 
 @register_campaign
+def power_campaign() -> Campaign:
+    """The paper's deferred future work: SRAG vs CntAG vs FSM power.
+
+    The conclusion of the paper expects decoder decoupling to reduce power
+    but states "we have not carried out a rigorous study of it".  This
+    campaign is that study on the reproduction's models: every point also
+    runs the switching-activity power estimator (256 simulated accesses on
+    the compiled simulator), so records carry ``energy_per_access_fj`` /
+    ``avg_power_uw`` next to delay and area.
+    """
+    return Campaign.from_grid(
+        "power",
+        workloads=("fifo", "dct", "motion_est_read", "zoombytwo"),
+        geometries=((4, 4), (8, 8), (16, 16)),
+        styles=(
+            ("SRAG", "two-hot"),
+            ("CntAG", "decoders"),
+            ("FSM", "binary"),
+        ),
+        power_cycles=256,
+        description="SRAG vs CntAG vs FSM energy/access, 4 workloads x 3 sizes",
+    )
+
+
+@register_campaign
 def library_corners_campaign() -> Campaign:
     """Library-corner sensitivity: the demo grid under all three corners."""
     return Campaign.from_grid(

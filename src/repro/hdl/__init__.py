@@ -9,7 +9,10 @@ reproduction is built on:
 * :mod:`repro.hdl.primitives` -- the primitive cell vocabulary (gates,
   multiplexors, flip-flops) with functional models used by the simulator.
 * :mod:`repro.hdl.simulator` -- a cycle-accurate two-phase simulator for
-  netlists built from those primitives.
+  netlists built from those primitives (the reference implementation).
+* :mod:`repro.hdl.compiled` -- a levelised, event-driven compiled simulator
+  that matches the reference bit-for-bit but skips quiescent logic cones;
+  the hot path behind power estimation.
 * :mod:`repro.hdl.components` -- structural generators for the mid-level
   building blocks used by the paper's address generators (binary counters,
   shift registers, decoders, comparators, adders, multiplexor trees).
@@ -20,6 +23,7 @@ by type name only.  Area and delay live in :mod:`repro.synth.cell_library`,
 which maps the same type names onto a 0.18 um-class standard-cell model.
 """
 
+from repro.hdl.compiled import CompiledSimulator
 from repro.hdl.netlist import Bus, Cell, Net, Netlist, NetlistError
 from repro.hdl.primitives import CellSpec, PRIMITIVES, is_sequential
 from repro.hdl.simulator import Simulator, SimulationError
@@ -33,6 +37,7 @@ __all__ = [
     "CellSpec",
     "PRIMITIVES",
     "is_sequential",
+    "CompiledSimulator",
     "Simulator",
     "SimulationError",
 ]

@@ -68,6 +68,19 @@ class Net:
         """Number of cell pins loading this net."""
         return len(self.loads)
 
+    def data_loads(self) -> List[Tuple["Cell", str]]:
+        """Loads excluding flip-flop ``CLK`` pins.
+
+        The clock network is distributed separately from the signal wiring
+        (and the simulator's clock is implicit), so timing and power models
+        charge neither pin nor wire capacitance for ``CLK`` connections.
+        """
+        return [
+            (cell, pin)
+            for cell, pin in self.loads
+            if not (pin == "CLK" and cell.spec.sequential)
+        ]
+
 
 class Bus(Sequence[Net]):
     """An ordered collection of nets treated as a little-endian vector.

@@ -19,7 +19,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Mapping, Sequence, Tuple
 
-__all__ = ["CellSpec", "PRIMITIVES", "is_sequential", "combinational_eval", "flop_next_state"]
+__all__ = [
+    "CellSpec",
+    "PRIMITIVES",
+    "is_sequential",
+    "combinational_eval",
+    "flop_next_state",
+    "compile_comb",
+    "compile_flop",
+]
 
 # A combinational evaluation function maps input pin values to output pin values.
 CombEval = Callable[[Mapping[str, int]], Dict[str, int]]
@@ -261,3 +269,139 @@ def flop_next_state(cell_type: str, pins: Mapping[str, int]) -> int:
     if not spec.sequential:
         raise ValueError(f"{cell_type} is combinational; use combinational_eval()")
     return spec.eval_fn(pins)["Q"]
+
+
+# --------------------------------------------------------------------------
+# Compiled evaluation
+#
+# The compiled simulator (:mod:`repro.hdl.compiled`) stores every net value
+# in one flat list and asks this module for a closure per cell instance that
+# reads its input slots and returns the output bit -- no per-step pin-name
+# dict building.  The closures assume the value list only ever holds 0/1,
+# which the simulator guarantees by normalising at every write.
+# --------------------------------------------------------------------------
+
+def compile_comb(cell_type: str, in_slots: Sequence[int]) -> Callable[[Sequence[int]], int]:
+    """Return ``fn(values) -> bit`` evaluating one combinational cell.
+
+    ``in_slots`` are the value-array indices of the cell's input pins in
+    ``spec.inputs`` order.  Cell types without a hand-written specialisation
+    fall back to the generic :attr:`CellSpec.eval_fn` model, so externally
+    registered single-output primitives still compile.
+    """
+    spec = PRIMITIVES[cell_type]
+    if spec.sequential:
+        raise ValueError(f"{cell_type} is sequential; use compile_flop()")
+    if len(spec.outputs) != 1:
+        raise ValueError(
+            f"{cell_type} has {len(spec.outputs)} outputs; the compiled "
+            "simulator only supports single-output combinational primitives"
+        )
+    slots = tuple(in_slots)
+    if cell_type == "TIE0":
+        return lambda v: 0
+    if cell_type == "TIE1":
+        return lambda v: 1
+    if cell_type == "BUF":
+        (a,) = slots
+        return lambda v: v[a]
+    if cell_type == "INV":
+        (a,) = slots
+        return lambda v: 1 - v[a]
+    if cell_type in ("AND2", "AND3", "AND4"):
+        if len(slots) == 2:
+            a, b = slots
+            return lambda v: v[a] & v[b]
+        if len(slots) == 3:
+            a, b, c = slots
+            return lambda v: v[a] & v[b] & v[c]
+        a, b, c, d = slots
+        return lambda v: v[a] & v[b] & v[c] & v[d]
+    if cell_type in ("NAND2", "NAND3", "NAND4"):
+        if len(slots) == 2:
+            a, b = slots
+            return lambda v: 1 - (v[a] & v[b])
+        if len(slots) == 3:
+            a, b, c = slots
+            return lambda v: 1 - (v[a] & v[b] & v[c])
+        a, b, c, d = slots
+        return lambda v: 1 - (v[a] & v[b] & v[c] & v[d])
+    if cell_type in ("OR2", "OR3", "OR4"):
+        if len(slots) == 2:
+            a, b = slots
+            return lambda v: v[a] | v[b]
+        if len(slots) == 3:
+            a, b, c = slots
+            return lambda v: v[a] | v[b] | v[c]
+        a, b, c, d = slots
+        return lambda v: v[a] | v[b] | v[c] | v[d]
+    if cell_type in ("NOR2", "NOR3", "NOR4"):
+        if len(slots) == 2:
+            a, b = slots
+            return lambda v: 1 - (v[a] | v[b])
+        if len(slots) == 3:
+            a, b, c = slots
+            return lambda v: 1 - (v[a] | v[b] | v[c])
+        a, b, c, d = slots
+        return lambda v: 1 - (v[a] | v[b] | v[c] | v[d])
+    if cell_type == "XOR2":
+        a, b = slots
+        return lambda v: v[a] ^ v[b]
+    if cell_type == "XNOR2":
+        a, b = slots
+        return lambda v: 1 - (v[a] ^ v[b])
+    if cell_type == "MUX2":
+        a, b, s = slots
+        return lambda v: v[b] if v[s] else v[a]
+    if cell_type == "AOI21":
+        a, b, c = slots
+        return lambda v: 1 - ((v[a] & v[b]) | v[c])
+    if cell_type == "OAI21":
+        a, b, c = slots
+        return lambda v: 1 - ((v[a] | v[b]) & v[c])
+
+    pins = spec.inputs
+    out_pin = spec.outputs[0]
+
+    def generic(v, _fn=spec.eval_fn, _pins=pins, _slots=slots, _out=out_pin):
+        return _bit(_fn({p: v[s] for p, s in zip(_pins, _slots)})[_out])
+
+    return generic
+
+
+def compile_flop(cell_type: str, slot_of: Mapping[str, int]) -> Callable[[Sequence[int], int], int]:
+    """Return ``fn(values, state) -> next_state`` for one flip-flop instance.
+
+    ``slot_of`` maps the flop's connected input pin names to value-array
+    indices (``CLK`` may be present; it is functionally ignored).
+    """
+    spec = PRIMITIVES[cell_type]
+    if not spec.sequential:
+        raise ValueError(f"{cell_type} is combinational; use compile_comb()")
+    if cell_type == "DFF":
+        d = slot_of["D"]
+        return lambda v, q: v[d]
+    if cell_type == "DFF_RST":
+        d, r = slot_of["D"], slot_of["RST"]
+        return lambda v, q: 0 if v[r] else v[d]
+    if cell_type == "DFF_SET":
+        d, s = slot_of["D"], slot_of["SET"]
+        return lambda v, q: 1 if v[s] else v[d]
+    if cell_type == "DFF_EN":
+        d, e = slot_of["D"], slot_of["EN"]
+        return lambda v, q: v[d] if v[e] else q
+    if cell_type == "DFF_EN_RST":
+        d, e, r = slot_of["D"], slot_of["EN"], slot_of["RST"]
+        return lambda v, q: 0 if v[r] else (v[d] if v[e] else q)
+    if cell_type == "DFF_EN_SET":
+        d, e, r = slot_of["D"], slot_of["EN"], slot_of["RST"]
+        return lambda v, q: 1 if v[r] else (v[d] if v[e] else q)
+
+    items = tuple(slot_of.items())
+
+    def generic(v, q, _fn=spec.eval_fn, _items=items):
+        pins = {p: v[s] for p, s in _items}
+        pins["Q"] = q
+        return _bit(_fn(pins)["Q"])
+
+    return generic

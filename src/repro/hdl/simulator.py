@@ -61,6 +61,8 @@ class Simulator:
     def poke_bus(self, bus: Sequence[Net], value: int) -> None:
         """Drive a bus of input nets with the binary encoding of ``value``."""
         for i, net in enumerate(bus):
+            if net.name not in self._values:
+                raise SimulationError(f"net {net.name!r} is not in the netlist")
             if not net.is_input:
                 raise SimulationError(f"net {net.name!r} is not an input")
             self._values[net.name] = (value >> i) & 1
@@ -68,6 +70,10 @@ class Simulator:
     def peek(self, port_or_net) -> int:
         """Read the current value of a top-level port name or a :class:`Net`."""
         if isinstance(port_or_net, Net):
+            if port_or_net.name not in self._values:
+                raise SimulationError(
+                    f"net {port_or_net.name!r} is not in the netlist"
+                )
             return self._values[port_or_net.name]
         name = port_or_net
         if name in self.netlist.outputs:
@@ -82,6 +88,8 @@ class Simulator:
         """Read a bus as an unsigned integer (bit 0 is the LSB)."""
         value = 0
         for i, net in enumerate(bus):
+            if net.name not in self._values:
+                raise SimulationError(f"net {net.name!r} is not in the netlist")
             value |= self._values[net.name] << i
         return value
 
@@ -126,9 +134,12 @@ class Simulator:
         """Advance the simulation by ``cycles`` rising clock edges.
 
         Keyword arguments drive input ports for the duration of the call,
-        e.g. ``sim.step(next=1, reset=0)``.
+        e.g. ``sim.step(next=1, reset=0)``; their previous values are
+        restored before returning.
         """
+        previous: Dict[str, int] = {}
         for port, value in ports.items():
+            previous[port] = self.peek(port)
             self.poke(port, value)
         for _ in range(cycles):
             self.settle()
@@ -143,6 +154,8 @@ class Simulator:
             self._state.update(next_state)
             self.cycle += 1
         self.settle()
+        for port, value in previous.items():
+            self.poke(port, value)
 
     def reset(self, reset_port: str = "reset", cycles: int = 1) -> None:
         """Pulse a synchronous reset input for ``cycles`` clock edges."""

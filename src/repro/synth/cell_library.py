@@ -33,6 +33,7 @@ __all__ = [
     "STD018",
     "get_library",
     "library_fingerprint",
+    "net_load",
 ]
 
 
@@ -157,6 +158,20 @@ class CellLibrary:
             wire_cap_per_fanout=self.wire_cap_per_fanout,
             cells=cells,
         )
+
+
+def net_load(net, library: "CellLibrary") -> float:
+    """Capacitive load on ``net``: fanout pin caps plus wire capacitance.
+
+    This is the single load model shared by static timing analysis and the
+    power estimator.  Flip-flop ``CLK`` pins are excluded consistently from
+    *both* the pin-capacitance sum and the per-fanout wire term (the clock
+    network is not part of the signal wiring; see
+    :meth:`repro.hdl.netlist.Net.data_loads`).
+    """
+    loads = net.data_loads()
+    cap = sum(library.input_cap_of(cell.cell_type) for cell, _ in loads)
+    return cap + library.wire_cap_per_fanout * len(loads)
 
 
 def _comb(area: float, cap: float, g: float, p: float) -> CellCharacteristics:

@@ -56,5 +56,6 @@ def run_synthesis_flow(
         area=area,
         timing=timing,
         buffers_inserted=buffers,
+        netlist=working_copy,
         metadata=dict(metadata or {}),
     )

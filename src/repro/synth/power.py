@@ -20,6 +20,11 @@ The absolute numbers are indicative (pre-layout, no clock-tree or glitch
 modelling); the intended use is the *relative* comparison between address
 generator architectures, mirroring how area and delay are treated elsewhere
 in the reproduction.
+
+The inner loop runs on :class:`~repro.hdl.compiled.CompiledSimulator`, which
+counts toggles inside its levelised event-driven stepping loop; the original
+dict-driven measurement survives as ``engine="reference"`` and is the oracle
+the compiled path is tested against.
 """
 
 from __future__ import annotations
@@ -27,9 +32,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.hdl.compiled import CompiledSimulator
 from repro.hdl.netlist import Netlist
 from repro.hdl.simulator import Simulator
-from repro.synth.cell_library import CellLibrary, STD018
+from repro.synth.cell_library import CellLibrary, STD018, net_load
 
 __all__ = ["PowerReport", "estimate_power"]
 
@@ -99,43 +105,14 @@ class PowerReport:
         )
 
 
-def _net_capacitance(net, library: CellLibrary) -> float:
-    cap = 0.0
-    for cell, pin in net.loads:
-        if cell.spec.sequential and pin == "CLK":
-            continue
-        cap += library.input_cap_of(cell.cell_type)
-    cap += library.wire_cap_per_fanout * len(net.loads)
-    return cap
+def _reference_toggles(
+    netlist: Netlist, cycles: int, next_port: str, reset_port: str
+) -> Dict[str, int]:
+    """Measure per-net toggle counts with the reference dict-driven simulator.
 
-
-def estimate_power(
-    netlist: Netlist,
-    *,
-    library: CellLibrary = STD018,
-    cycles: Optional[int] = None,
-    frequency_mhz: float = 100.0,
-    next_port: str = "next",
-    reset_port: str = "reset",
-) -> PowerReport:
-    """Estimate dynamic power by simulating ``netlist`` for ``cycles`` cycles.
-
-    The design is reset, its ``next`` input is held high (one address per
-    cycle, the paper's usage model), and every net transition is recorded.
-
-    Parameters
-    ----------
-    cycles:
-        Simulation window; defaults to 256 cycles (or fewer for tiny designs
-        is fine -- activities are periodic in the address sequence length).
-    frequency_mhz:
-        Clock frequency used to convert energy per cycle into average power.
+    Kept as the oracle the compiled fast path is checked against (and for
+    debugging); campaigns always go through the compiled engine.
     """
-    if cycles is None:
-        cycles = 256
-    if cycles < 1:
-        raise ValueError(f"cycles must be positive, got {cycles}")
-
     simulator = Simulator(netlist)
     if reset_port in netlist.inputs:
         simulator.reset(reset_port)
@@ -151,15 +128,75 @@ def estimate_power(
             if value != previous[name]:
                 toggles[name] += 1
                 previous[name] = value
+    return {name: count for name, count in toggles.items() if count}
+
+
+def _compiled_toggles(
+    netlist: Netlist, cycles: int, next_port: str, reset_port: str
+) -> Dict[str, int]:
+    """Measure per-net toggle counts with the compiled simulator.
+
+    Same protocol and snapshot-per-cycle toggle semantics as the reference
+    path, but the settle/count loop is the levelised event-driven program of
+    :class:`~repro.hdl.compiled.CompiledSimulator` -- quiescent cones are
+    never re-evaluated and untouched nets are never re-scanned.
+    """
+    simulator = CompiledSimulator(netlist)
+    if reset_port in netlist.inputs:
+        simulator.reset(reset_port)
+    if next_port in netlist.inputs:
+        simulator.poke(next_port, 1)
+    simulator.reset_toggles()
+    simulator.run(cycles)
+    return simulator.toggle_counts()
+
+
+def estimate_power(
+    netlist: Netlist,
+    *,
+    library: CellLibrary = STD018,
+    cycles: Optional[int] = None,
+    frequency_mhz: float = 100.0,
+    next_port: str = "next",
+    reset_port: str = "reset",
+    engine: str = "compiled",
+) -> PowerReport:
+    """Estimate dynamic power by simulating ``netlist`` for ``cycles`` cycles.
+
+    The design is reset, its ``next`` input is held high (one address per
+    cycle, the paper's usage model), and every net transition is recorded.
+
+    Parameters
+    ----------
+    cycles:
+        Simulation window; defaults to 256 cycles (or fewer for tiny designs
+        is fine -- activities are periodic in the address sequence length).
+    frequency_mhz:
+        Clock frequency used to convert energy per cycle into average power.
+    engine:
+        ``"compiled"`` (default) runs the levelised event-driven simulator;
+        ``"reference"`` runs the original dict-driven simulator.  The two
+        produce identical toggle counts -- the reference path exists as the
+        oracle for the compiled one.
+    """
+    if cycles is None:
+        cycles = 256
+    if cycles < 1:
+        raise ValueError(f"cycles must be positive, got {cycles}")
+    if engine == "compiled":
+        toggles = _compiled_toggles(netlist, cycles, next_port, reset_port)
+    elif engine == "reference":
+        toggles = _reference_toggles(netlist, cycles, next_port, reset_port)
+    else:
+        raise ValueError(f"unknown simulation engine {engine!r}")
 
     # Energy: E = C * V^2 per full toggle (charging + discharging averaged to
     # one CV^2 per transition pair; we charge 0.5 C V^2 per transition).
     volts_squared = SUPPLY_VOLTAGE * SUPPLY_VOLTAGE
     switching_energy = 0.0
+    nets = netlist.nets
     for name, count in toggles.items():
-        if not count:
-            continue
-        cap_units = _net_capacitance(netlist.nets[name], library)
+        cap_units = net_load(nets[name], library)
         capacitance_ff = cap_units * FEMTOFARAD_PER_CAP_UNIT
         switching_energy += 0.5 * capacitance_ff * volts_squared * count
 
@@ -175,7 +212,7 @@ def estimate_power(
 
     return PowerReport(
         cycles=cycles,
-        toggle_counts={name: count for name, count in toggles.items() if count},
+        toggle_counts=toggles,
         switching_energy_fj=switching_energy,
         clock_energy_fj=clock_energy,
         frequency_mhz=frequency_mhz,

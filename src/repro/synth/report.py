@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from repro.hdl.netlist import Netlist
 from repro.synth.area import AreaReport
 from repro.synth.timing import TimingReport
 
@@ -29,6 +30,11 @@ class SynthesisResult:
         Detailed timing report.
     buffers_inserted:
         Number of buffers added by high-fanout buffering.
+    netlist:
+        The synthesis tool's working copy -- the buffered clone the area and
+        timing numbers were measured on.  Downstream analyses (the power
+        study) must run on this netlist so all metrics in one result
+        describe the same structure.
     metadata:
         Free-form extra data (sequence length, array shape, generator style,
         mapping parameters) recorded by the experiment harnesses.
@@ -38,6 +44,7 @@ class SynthesisResult:
     area: AreaReport
     timing: TimingReport
     buffers_inserted: int = 0
+    netlist: Optional[Netlist] = None
     metadata: Dict[str, object] = field(default_factory=dict)
 
     @property

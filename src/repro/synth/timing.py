@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.hdl.netlist import Cell, Net, Netlist
-from repro.synth.cell_library import CellLibrary, STD018
+from repro.synth.cell_library import CellLibrary, STD018, net_load
 
 __all__ = ["PathSegment", "TimingReport", "timing_report"]
 
@@ -81,17 +81,6 @@ class TimingReport:
         return "\n".join(lines)
 
 
-def _net_load(net: Net, library: CellLibrary) -> float:
-    """Capacitive load on ``net``: fanout pin caps plus wire capacitance."""
-    cap = 0.0
-    for cell, pin in net.loads:
-        if cell.spec.sequential and pin == "CLK":
-            continue
-        cap += library.input_cap_of(cell.cell_type)
-    cap += library.wire_cap_per_fanout * len(net.loads)
-    return cap
-
-
 def timing_report(netlist: Netlist, library: CellLibrary = STD018) -> TimingReport:
     """Run static timing analysis and return the :class:`TimingReport`."""
     netlist.validate()
@@ -109,7 +98,7 @@ def timing_report(netlist: Netlist, library: CellLibrary = STD018) -> TimingRepo
         q_net = flop.pins.get("Q")
         if q_net is None:
             continue
-        delay = library.gate_delay(flop.cell_type, _net_load(q_net, library))
+        delay = library.gate_delay(flop.cell_type, net_load(q_net, library))
         arrival[q_net.name] = delay
         predecessor[q_net.name] = (flop, None, delay)
 
@@ -119,7 +108,7 @@ def timing_report(netlist: Netlist, library: CellLibrary = STD018) -> TimingRepo
             input_arrivals.append((arrival.get(net.name, 0.0), net.name))
         latest, latest_net = max(input_arrivals, default=(0.0, None))
         for pin, net in cell.output_nets().items():
-            delay = library.gate_delay(cell.cell_type, _net_load(net, library))
+            delay = library.gate_delay(cell.cell_type, net_load(net, library))
             arrival[net.name] = latest + delay
             predecessor[net.name] = (cell, latest_net, delay)
 

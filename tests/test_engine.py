@@ -221,6 +221,30 @@ def test_serial_and_parallel_runs_are_identical():
     }
 
 
+def test_progress_counts_duplicate_jobs(tmp_path):
+    """Regression: duplicate uncached jobs must each fire the callback."""
+    job = EvalJob("fifo", 4, 4, "SRAG", "two-hot")
+    campaign = Campaign("dups", [job, job, EvalJob("fifo", 4, 4, "CntAG", "decoders")])
+    seen = []
+    runner = CampaignRunner(
+        ResultCache(str(tmp_path)),
+        workers=0,
+        progress=lambda record, done, total: seen.append((record.key, done, total)),
+    )
+    result = runner.run(campaign)
+    assert len(result.records) == 3
+    assert result.records[0].to_dict() == result.records[1].to_dict()
+    # Every job fired exactly once, done reached total.
+    assert [done for _, done, _ in seen] == [1, 2, 3]
+    assert all(total == 3 for _, _, total in seen)
+    assert [key for key, _, _ in seen].count(job.key) == 2
+
+    # Same campaign again: duplicates now come from the cache, still 3 events.
+    seen.clear()
+    runner.run(campaign)
+    assert [done for _, done, _ in seen] == [1, 2, 3]
+
+
 def test_progress_callback_sees_every_record(tmp_path):
     campaign = _tiny_campaign()
     seen = []
@@ -245,6 +269,76 @@ def test_campaign_result_groups_and_describe(tmp_path):
         assert front
     text = result.describe()
     assert "cache hits" in text and "fifo 4x4" in text
+
+
+def test_power_jobs_record_power_metrics():
+    record = evaluate_job(
+        EvalJob("fifo", 4, 4, "CntAG", "decoders", power_cycles=64)
+    )
+    assert record.status == "ok"
+    assert record.energy_per_access_fj > 0
+    assert record.avg_power_uw > 0
+    assert record.has_power
+
+    plain = evaluate_job(EvalJob("fifo", 4, 4, "CntAG", "decoders"))
+    assert plain.status == "ok"
+    assert not plain.has_power  # NaN without the power study
+
+
+def test_power_is_measured_on_the_buffered_netlist():
+    """All metrics in one record must describe the same (buffered) structure."""
+    from repro.synth.power import estimate_power
+    from repro.workloads.registry import build_pattern
+
+    job = EvalJob("motion_est_read", 16, 16, "SRAG", "two-hot", power_cycles=32)
+    record = evaluate_job(job)
+    assert record.status == "ok" and record.buffers_inserted > 0
+
+    design = build_design(build_pattern(job.workload, job.rows, job.cols),
+                          job.style, job.variant)
+    synth = design.synthesize(max_fanout=job.max_fanout)
+    buffered = estimate_power(synth.netlist, cycles=32)
+    unbuffered = estimate_power(design.netlist, cycles=32)
+    assert record.energy_per_access_fj == buffered.energy_per_access_fj
+    assert record.energy_per_access_fj != unbuffered.energy_per_access_fj
+
+
+def test_power_cycles_only_changes_key_when_enabled():
+    """Old cache entries for non-power jobs must keep matching."""
+    base = EvalJob("fifo", 4, 4, "SRAG", "two-hot")
+    assert EvalJob("fifo", 4, 4, "SRAG", "two-hot", power_cycles=0).key == base.key
+    assert "power_cycles" not in base.spec()
+    powered = EvalJob("fifo", 4, 4, "SRAG", "two-hot", power_cycles=256)
+    assert powered.key != base.key
+    assert powered.spec()["power_cycles"] == 256
+
+
+def test_record_from_dict_tolerates_pre_power_cache_entries():
+    """Round-trip a cache dict written before the power fields existed."""
+    record = evaluate_job(EvalJob("fifo", 4, 4, "SRAG", "two-hot"))
+    old_style = {
+        k: v
+        for k, v in record.to_dict().items()
+        if k not in ("energy_per_access_fj", "avg_power_uw")
+    }
+    rebuilt = EvalRecord.from_dict(old_style, cached=True)
+    assert rebuilt.cached
+    assert not rebuilt.has_power
+    assert rebuilt.delay_ns == record.delay_ns
+    # And it round-trips forward through the current format.
+    assert EvalRecord.from_dict(rebuilt.to_dict()).to_dict() == rebuilt.to_dict()
+
+
+def test_power_campaign_runs_and_describes_power(tmp_path):
+    campaign = build_campaign("power")
+    assert all(job.power_cycles == 256 for job in campaign)
+    # Trim to one geometry to keep the unit test fast; the full campaign is
+    # exercised by the CLI test and the CI workflow.
+    small = Campaign("power", [job for job in campaign if job.rows == 4])
+    result = CampaignRunner(ResultCache(str(tmp_path)), workers=0).run(small)
+    ok = result.ok_records()
+    assert ok and all(r.has_power for r in ok)
+    assert "e/access" in result.describe()
 
 
 def test_registered_campaigns_all_build():

@@ -91,6 +91,46 @@ def test_step_with_keyword_ports():
     assert sim.peek("q") == 1
 
 
+def test_step_keyword_ports_do_not_persist():
+    """Regression: step(**ports) drives ports only for the duration of the call."""
+    netlist = Netlist("en2")
+    clk = netlist.add_input("clk")
+    en = netlist.add_input("en")
+    q = netlist.new_net("q")
+    one = netlist.const(1)
+    netlist.add_cell("DFF_EN", D=one, CLK=clk, EN=en, Q=q)
+    netlist.add_output("q", q)
+    sim = Simulator(netlist)
+    sim.poke("en", 0)
+    sim.step(en=1)
+    # The keyword drive took effect for the call...
+    assert sim.peek("q") == 1
+    # ...but the port reads back its pre-call value afterwards, and later
+    # steps run with the restored (disabled) value.
+    assert sim.peek("en") == 0
+    sim.step(3)
+    assert sim.peek("en") == 0
+    assert sim.peek("q") == 1  # DFF_EN held its state with enable low
+
+
+def test_poke_bus_and_peek_bus_reject_foreign_nets():
+    netlist = Netlist("bus_err")
+    data = netlist.add_input_bus("d", 2)
+    netlist.add_output_bus("o", data)
+    other = Netlist("other")
+    foreign = other.add_input("foreign")
+    sim = Simulator(netlist)
+    with pytest.raises(SimulationError):
+        sim.poke_bus(Bus([foreign]), 1)
+    with pytest.raises(SimulationError):
+        sim.peek_bus(Bus([foreign]))
+    with pytest.raises(SimulationError):
+        sim.peek(foreign)
+    # Non-input nets in the same netlist still raise too.
+    driven = netlist.nets[data[0].name]
+    assert sim.peek_bus(Bus([driven])) in (0, 1)
+
+
 def test_reset_pulse():
     netlist = Netlist("rst")
     clk = netlist.add_input("clk")

@@ -56,6 +56,21 @@ def test_power_rejects_bad_cycle_count():
         estimate_power(_counter_netlist(8), cycles=0)
 
 
+def test_power_rejects_unknown_engine():
+    with pytest.raises(ValueError):
+        estimate_power(_counter_netlist(8), cycles=8, engine="spice")
+
+
+def test_power_engines_agree_exactly():
+    """The compiled fast path is bit-for-bit the reference measurement."""
+    netlist = _counter_netlist(32)
+    reference = estimate_power(netlist, cycles=96, engine="reference")
+    compiled = estimate_power(netlist, cycles=96, engine="compiled")
+    assert compiled.toggle_counts == reference.toggle_counts
+    assert compiled.switching_energy_fj == reference.switching_energy_fj
+    assert compiled.clock_energy_fj == reference.clock_energy_fj
+
+
 def test_srag_vs_cntag_power_comparison_runs():
     """The future-work study: compare SRAG and CntAG energy per access."""
     pattern = motion_estimation.new_img_read_pattern(8, 8, 2, 2)

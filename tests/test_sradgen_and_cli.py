@@ -110,3 +110,70 @@ def test_cli_explore(capsys):
     assert exit_code == 0
     assert "design space" in captured.out
     assert "SRAG" in captured.out
+
+
+# ---------------------------------------------------------------------------
+# Campaign progress formatting
+# ---------------------------------------------------------------------------
+
+def _record(status, note="", **extra):
+    from repro.engine.runner import EvalRecord
+
+    return EvalRecord(
+        workload="fifo", rows=4, cols=4, style="SRAG", variant="two-hot",
+        library="std018", key="k", status=status, note=note, **extra,
+    )
+
+
+def test_format_progress_ok_record():
+    from repro.cli import _format_progress
+
+    line = _format_progress(
+        _record("ok", delay_ns=1.25, area_cells=420.0, duration_s=0.01), 3, 16
+    )
+    assert "[ 3/16]" in line
+    assert "delay" in line and "area" in line
+    assert "10 ms" in line
+
+
+def test_format_progress_ok_record_with_power():
+    from repro.cli import _format_progress
+
+    line = _format_progress(
+        _record(
+            "ok", delay_ns=1.0, area_cells=1.0,
+            energy_per_access_fj=123.4, avg_power_uw=12.3,
+        ),
+        1, 2,
+    )
+    assert "e/access" in line and "123.4 fJ" in line
+
+
+def test_format_progress_skipped_record():
+    from repro.cli import _format_progress
+
+    line = _format_progress(_record("skipped", note="not applicable\nmore"), 1, 2)
+    assert "skipped: not applicable" in line
+    assert "more" not in line
+
+
+def test_format_progress_error_record_with_empty_note():
+    """Regression: an error record with an empty note must not crash."""
+    from repro.cli import _format_progress
+
+    line = _format_progress(_record("error", note=""), 2, 2)
+    assert "error:" in line
+    cached = _format_progress(_record("error", note="", cached=True), 2, 2)
+    assert "(cached)" in cached
+
+
+def test_cli_power_campaign_end_to_end(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    assert main(["--campaign", "power", "--cache-dir", cache_dir, "--serial"]) == 0
+    out = capsys.readouterr().out
+    assert "campaign 'power'" in out
+    assert "e/access" in out and "fJ" in out
+    # Re-running resumes entirely from the persisted cache.
+    assert main(["--campaign", "power", "--cache-dir", cache_dir, "--serial"]) == 0
+    warm = capsys.readouterr().out
+    assert "cache hits 36/36" in warm
