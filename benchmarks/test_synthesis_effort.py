@@ -22,13 +22,18 @@ LENGTHS = [16, 32, 64, 128, 256]
 
 
 def _shift_register_effort(length):
-    start = time.perf_counter()
-    netlist = Netlist(f"sr_{length}")
-    clk = netlist.add_input("clk")
-    nxt = netlist.add_input("next")
-    rst = netlist.add_input("reset")
-    build_srag(netlist, map_sequence(list(range(length))), clk, nxt, rst)
-    return time.perf_counter() - start
+    # Best of three: a single ~1 ms sample occasionally catches a GC pause
+    # or scheduler hiccup and flips the asymmetry assertion below.
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        netlist = Netlist(f"sr_{length}")
+        clk = netlist.add_input("clk")
+        nxt = netlist.add_input("next")
+        rst = netlist.add_input("reset")
+        build_srag(netlist, map_sequence(list(range(length))), clk, nxt, rst)
+        best = min(best, time.perf_counter() - start)
+    return best
 
 
 def _fsm_effort(length):

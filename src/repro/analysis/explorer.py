@@ -93,8 +93,13 @@ def pareto_front(points: Sequence[DesignPoint]) -> List[DesignPoint]:
     return pareto_min(list(points), key=lambda p: (p.delay_ns, p.area_cells))
 
 
-def _evaluate(design: AddressGeneratorDesign, variant: str, library: CellLibrary) -> DesignPoint:
-    result = design.synthesize(library)
+def _evaluate(
+    design: AddressGeneratorDesign,
+    variant: str,
+    library: CellLibrary,
+    opt_level: int,
+) -> DesignPoint:
+    result = design.synthesize(library, opt_level=opt_level)
     return DesignPoint(
         style=design.style,
         variant=variant,
@@ -110,12 +115,17 @@ def explore(
     library: CellLibrary = STD018,
     fsm_encodings: Sequence[str] = FSM_ENCODINGS,
     max_fsm_states: int = 512,
+    opt_level: int = 0,
 ) -> ExplorationResult:
     """Evaluate every applicable architecture for ``pattern``.
 
     Architectures that cannot implement the pattern (SRAG restrictions, SFM's
     FIFO-only limitation, non-power-of-two arrays for the arithmetic style)
-    are recorded in ``skipped`` with the reason, rather than raising.
+    are recorded in ``skipped`` with the reason, rather than raising.  The
+    same applies when the failure only surfaces while elaborating or
+    synthesising the candidate, not just while constructing it -- mirroring
+    :func:`repro.engine.runner.evaluate_job`, so one impossible architecture
+    cannot take down a whole exploration.
 
     Parameters
     ----------
@@ -123,6 +133,9 @@ def explore(
         Symbolic-FSM variants are skipped for sequences longer than this, to
         keep exploration time bounded (the blow-up itself is measured by the
         synthesis-effort benchmark instead).
+    opt_level:
+        Logic-optimization effort applied by the synthesis flow at every
+        design point (0 = raw netlists, the historical behaviour).
     """
     sequence = pattern.to_sequence()
     result = ExplorationResult(workload=sequence.name)
@@ -133,6 +146,7 @@ def explore(
     for style, variant, factory in candidates:
         try:
             design = factory()
+            point = _evaluate(design, variant, library, opt_level)
         except (MappingError, NetlistError, ValueError) as error:
             result.skipped.append(
                 DesignPoint(
@@ -146,5 +160,5 @@ def explore(
                 )
             )
             continue
-        result.points.append(_evaluate(design, variant, library))
+        result.points.append(point)
     return result

@@ -8,7 +8,7 @@ the environment is offline).
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence
 
 __all__ = ["format_table", "format_series", "format_figure"]
 

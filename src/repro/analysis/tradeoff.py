@@ -11,7 +11,7 @@ regenerated.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from repro.generators.counter_based import CounterBasedAddressGenerator
 from repro.generators.srag_design import SragDesign

@@ -21,11 +21,18 @@ Usage examples::
     # evaluates new points)
     sradgen --campaign demo --cache-dir .sradgen_cache
     sradgen --list-campaigns
+
+    # Synthesis figures after logic optimization (what a real tool reports)
+    sradgen --workload dct --rows 8 --cols 8 --report --opt-level 1
+
+    # Drop superseded lines from a long-lived campaign cache
+    sradgen --compact-cache --cache-dir .sradgen_cache
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import os
 import sys
 from typing import List, Optional, Sequence
@@ -35,12 +42,27 @@ from repro.core.mapping_params import MappingError
 from repro.core.sradgen import generate
 from repro.engine.cache import ResultCache
 from repro.engine.runner import CampaignRunner, EvalRecord
-from repro.engine.sweep import CAMPAIGNS, available_campaigns, build_campaign
+from repro.engine.sweep import (
+    CAMPAIGNS,
+    available_campaigns,
+    build_campaign,
+    campaign_description,
+)
 from repro.workloads.loopnest import AffineAccessPattern
 from repro.workloads.registry import WORKLOADS, build_pattern
 from repro.workloads.sequences import AddressSequence
 
 __all__ = ["main", "build_parser"]
+
+
+def _opt_level(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -73,6 +95,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list available campaigns and exit",
     )
+    source.add_argument(
+        "--compact-cache",
+        action="store_true",
+        help=(
+            "rewrite the --cache-dir result file keeping only the latest "
+            "entry per key, then exit"
+        ),
+    )
     parser.add_argument("--rows", type=int, help="memory array rows")
     parser.add_argument("--cols", type=int, help="memory array columns")
     parser.add_argument("--vhdl", help="write generated VHDL to this file")
@@ -91,6 +121,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-verify",
         action="store_true",
         help="skip gate-level verification of the generated SRAG",
+    )
+    parser.add_argument(
+        "--opt-level",
+        type=_opt_level,
+        default=None,
+        metavar="N",
+        help=(
+            "logic-optimization effort for synthesis (0 = raw netlist, "
+            "1 = constant folding, sharing, chain collapsing and dead-cell "
+            "removal; default 0).  With --campaign, overrides every job's "
+            "opt level."
+        ),
     )
     engine = parser.add_argument_group("campaign options")
     engine.add_argument(
@@ -168,8 +210,42 @@ def _format_progress(record: EvalRecord, done: int, total: int) -> str:
     )
 
 
+def _count_cache_lines(path: str) -> int:
+    if not os.path.exists(path):
+        return 0
+    with open(path, "r", encoding="utf-8") as handle:
+        return sum(1 for line in handle if line.strip())
+
+
+def _compact_cache(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """Rewrite the cache file with only live entries; report the shrink."""
+    if not args.cache_dir:
+        parser.error("--compact-cache requires --cache-dir")
+    cache = ResultCache(args.cache_dir)
+    path = cache.path
+    before = _count_cache_lines(path)
+    cache.compact()
+    after = _count_cache_lines(path)
+    print(
+        f"compacted {path}: {before} -> {after} lines "
+        f"({len(cache)} live records, {before - after} superseded dropped)"
+    )
+    return 0
+
+
 def _run_campaign(args: argparse.Namespace) -> int:
     campaign = build_campaign(args.campaign)
+    if args.opt_level is not None:
+        # An explicit --opt-level re-levels the whole grid (jobs are frozen
+        # dataclasses, so each override is a fresh job with a fresh key).
+        campaign = dataclasses.replace(
+            campaign,
+            jobs=[
+                dataclasses.replace(job, opt_level=args.opt_level)
+                for job in campaign.jobs
+            ],
+        )
+        print(f"overriding opt level: every job runs at O{args.opt_level}")
     cache = ResultCache(args.cache_dir)
     workers = 0 if args.serial else args.workers
 
@@ -208,9 +284,13 @@ def _dispatch(argv: Optional[Sequence[str]]) -> int:
     args = parser.parse_args(argv)
 
     if args.list_campaigns:
+        # Descriptions come from the registry, so listing never expands a grid.
         for name in available_campaigns():
-            print(f"{name:<18} {build_campaign(name).description}")
+            print(f"{name:<18} {campaign_description(name)}")
         return 0
+
+    if args.compact_cache:
+        return _compact_cache(args, parser)
 
     if args.campaign:
         return _run_campaign(args)
@@ -218,12 +298,13 @@ def _dispatch(argv: Optional[Sequence[str]]) -> int:
     if args.rows is None or args.cols is None:
         parser.error("--rows and --cols are required with --input/--workload")
     sequence = _load_sequence(args)
+    opt_level = args.opt_level if args.opt_level is not None else 0
 
     if args.explore:
         if not args.workload:
             parser.error("--explore requires --workload (it needs the loop nest)")
         pattern = build_pattern(args.workload, args.rows, args.cols)
-        print(explore(pattern).describe())
+        print(explore(pattern, opt_level=opt_level).describe())
         return 0
 
     try:
@@ -232,6 +313,7 @@ def _dispatch(argv: Optional[Sequence[str]]) -> int:
             emit_vhdl_text=bool(args.vhdl) or not args.verilog,
             emit_verilog_text=bool(args.verilog),
             synthesize=args.report,
+            opt_level=opt_level,
             verify=not args.no_verify,
         )
     except MappingError as error:

@@ -15,7 +15,7 @@ from typing import List, Optional, Tuple
 from repro.core.mapper import map_address_sequence
 from repro.core.mapping_params import SragMapping
 from repro.core.srag import SragFunctionalModel, SragPorts, build_srag
-from repro.hdl.netlist import Bus, Netlist
+from repro.hdl.netlist import Netlist
 from repro.hdl.simulator import Simulator
 from repro.workloads.sequences import AddressSequence
 

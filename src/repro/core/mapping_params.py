@@ -20,7 +20,7 @@ everything it needs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 __all__ = ["SragMapping", "MappingError"]

@@ -23,7 +23,7 @@ FSMs.  This module implements that extension:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.mapping_params import MappingError

@@ -74,6 +74,7 @@ def generate(
     emit_verilog_text: bool = False,
     synthesize: bool = False,
     library: CellLibrary = STD018,
+    opt_level: int = 0,
     verify: bool = True,
     name: Optional[str] = None,
 ) -> SRAdGenResult:
@@ -86,7 +87,11 @@ def generate(
     emit_vhdl_text, emit_verilog_text:
         Which HDL back ends to run.
     synthesize:
-        Also run the synthesis flow (buffering + timing + area).
+        Also run the synthesis flow (optimization + buffering + timing +
+        area).
+    opt_level:
+        Logic-optimization effort for the synthesis flow (0 = report on the
+        raw netlist, 1 = run the :mod:`repro.synth.opt` pipeline first).
     verify:
         Check, by gate-level simulation, that the elaborated netlist actually
         regenerates the input sequence before emitting anything.
@@ -113,6 +118,7 @@ def generate(
         synthesis = run_synthesis_flow(
             generator.netlist,
             library=library,
+            opt_level=opt_level,
             name=generator.netlist.name,
             metadata={
                 "workload": sequence.name,

@@ -21,7 +21,6 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.mapping_params import MappingError, SragMapping
-from repro.hdl.components.comparator import build_equality_comparator
 from repro.hdl.components.counter import build_binary_counter
 from repro.hdl.components.shift_register import build_token_shift_register
 from repro.hdl.netlist import Bus, Net, Netlist

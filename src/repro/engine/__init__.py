@@ -33,6 +33,7 @@ from repro.engine.sweep import (
     CAMPAIGNS,
     available_campaigns,
     build_campaign,
+    campaign_description,
     register_campaign,
 )
 
@@ -49,6 +50,7 @@ __all__ = [
     "available_campaigns",
     "build_campaign",
     "build_design",
+    "campaign_description",
     "candidate_factories",
     "evaluate_job",
     "pareto_indices",

@@ -130,6 +130,10 @@ class EvalJob:
     ``power_cycles > 0`` additionally runs the switching-activity power
     study (on the compiled simulator) over that many cycles; the resulting
     record then carries ``energy_per_access_fj`` / ``avg_power_uw``.
+
+    ``opt_level > 0`` runs the logic-optimization pipeline
+    (:mod:`repro.synth.opt`) before buffering and timing, so area/delay
+    figures describe the netlist a real synthesis tool would report on.
     """
 
     workload: str
@@ -141,6 +145,7 @@ class EvalJob:
     max_fanout: int = 8
     max_fsm_states: int = 512
     power_cycles: int = 0
+    opt_level: int = 0
 
     def spec(self) -> dict:
         """Canonical dictionary form of the job (what gets hashed)."""
@@ -160,6 +165,10 @@ class EvalJob:
         # job keeps its original key and cached results stay valid.
         if self.power_cycles:
             spec["power_cycles"] = self.power_cycles
+        # Same contract for optimization: the default level hashes exactly
+        # like a job from before opt_level existed.
+        if self.opt_level:
+            spec["opt_level"] = self.opt_level
         return spec
 
     @property
@@ -175,10 +184,11 @@ class EvalJob:
 
     @property
     def label(self) -> str:
-        """Compact display label, e.g. ``fifo 8x8 SRAG[two-hot] @std018``."""
+        """Compact display label, e.g. ``fifo 8x8 SRAG[two-hot] @std018 O1``."""
+        suffix = f" O{self.opt_level}" if self.opt_level else ""
         return (
             f"{self.workload} {self.rows}x{self.cols} "
-            f"{self.style}[{self.variant}] @{self.library}"
+            f"{self.style}[{self.variant}] @{self.library}{suffix}"
         )
 
     def pattern(self) -> AffineAccessPattern:
@@ -222,6 +232,7 @@ class Campaign:
         max_fanout: int = 8,
         max_fsm_states: int = 512,
         power_cycles: int = 0,
+        opt_level: int = 0,
         description: str = "",
     ) -> "Campaign":
         """Expand a full cross-product grid into a campaign.
@@ -231,7 +242,8 @@ class Campaign:
         inapplicable to a particular workload are recorded as skipped at
         evaluation time rather than excluded up front.  A non-zero
         ``power_cycles`` additionally runs the switching-activity power
-        study over that many simulated cycles at every grid point.
+        study over that many simulated cycles at every grid point; a
+        non-zero ``opt_level`` runs logic optimization at every grid point.
         """
         chosen = tuple(styles) if styles is not None else STYLE_VARIANTS
         jobs = [
@@ -245,6 +257,7 @@ class Campaign:
                 max_fanout=max_fanout,
                 max_fsm_states=max_fsm_states,
                 power_cycles=power_cycles,
+                opt_level=opt_level,
             )
             for workload in workloads
             for rows, cols in geometries

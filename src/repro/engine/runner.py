@@ -50,6 +50,12 @@ class EvalRecord:
     for the power study (``EvalJob.power_cycles > 0``); records cached before
     power existed load fine -- :meth:`from_dict` fills missing fields with
     their defaults.
+
+    ``opt_level`` / ``opt_cells_removed`` record the logic-optimization
+    setting and its win (net cells eliminated before buffering); both stay
+    at their zero defaults -- and out of the cached dictionary form -- for
+    jobs that do not opt in, so pre-optimization cache entries round-trip
+    unchanged.
     """
 
     workload: str
@@ -67,6 +73,8 @@ class EvalRecord:
     buffers_inserted: int = 0
     energy_per_access_fj: float = float("nan")
     avg_power_uw: float = float("nan")
+    opt_level: int = 0
+    opt_cells_removed: int = 0
     note: str = ""
     duration_s: float = 0.0
     cached: bool = False
@@ -78,21 +86,29 @@ class EvalRecord:
 
     @property
     def label(self) -> str:
-        """Compact display label, e.g. ``fifo 8x8 SRAG[two-hot]``."""
-        return f"{self.workload} {self.rows}x{self.cols} {self.style}[{self.variant}]"
+        """Compact display label, e.g. ``fifo 8x8 SRAG[two-hot] O1``."""
+        suffix = f" O{self.opt_level}" if self.opt_level else ""
+        return (
+            f"{self.workload} {self.rows}x{self.cols} "
+            f"{self.style}[{self.variant}]{suffix}"
+        )
 
     def to_dict(self) -> dict:
         """Plain-dict form stored in the result cache (``cached`` excluded).
 
-        The power fields are omitted when the study did not run, so cache
-        entries for power-less jobs keep the exact pre-power format (and
-        NaN never has to survive a JSON round-trip).
+        The power fields are omitted when the study did not run, and the
+        optimization fields when the job ran at the default ``opt_level=0``,
+        so cache entries for jobs predating either feature keep their exact
+        original format (and NaN never has to survive a JSON round-trip).
         """
         data = asdict(self)
         data.pop("cached")
         if not self.has_power:
             data.pop("energy_per_access_fj")
             data.pop("avg_power_uw")
+        if not self.opt_level:
+            data.pop("opt_level")
+            data.pop("opt_cells_removed")
         return data
 
     @classmethod
@@ -118,6 +134,8 @@ def evaluate_job(job: EvalJob) -> EvalRecord:
         variant=job.variant,
         library=job.library,
         key=job.key,
+        # Part of the base so skipped/error records keep the grid axis too.
+        opt_level=job.opt_level,
     )
     try:
         pattern = job.pattern()
@@ -133,7 +151,9 @@ def evaluate_job(job: EvalJob) -> EvalRecord:
             )
         design = build_design(pattern, job.style, job.variant)
         library = get_library(job.library)
-        result = design.synthesize(library, max_fanout=job.max_fanout)
+        result = design.synthesize(
+            library, max_fanout=job.max_fanout, opt_level=job.opt_level
+        )
         power: Dict[str, float] = {}
         if job.power_cycles:
             # Measure on the buffered working copy the area/delay figures
@@ -166,6 +186,9 @@ def evaluate_job(job: EvalJob) -> EvalRecord:
         flip_flops=result.area.flip_flop_count,
         total_cells=sum(result.area.cell_counts.values()),
         buffers_inserted=result.buffers_inserted,
+        opt_cells_removed=(
+            result.opt_report.cells_removed if result.opt_report else 0
+        ),
         duration_s=time.perf_counter() - start,
         **power,
         **base,
@@ -229,6 +252,8 @@ class CampaignResult:
             lines.append(f"  {workload} {rows}x{cols} @{library}:")
             for record in sorted(front, key=lambda r: r.delay_ns):
                 style = f"{record.style}[{record.variant}]"
+                if record.opt_level:
+                    style += f" O{record.opt_level}"
                 power = (
                     f"   e/access {record.energy_per_access_fj:8.1f} fJ"
                     if record.has_power

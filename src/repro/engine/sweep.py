@@ -11,25 +11,63 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List
 
-from repro.engine.jobs import Campaign, EvalJob
+from repro.engine.jobs import Campaign
 
-__all__ = ["CAMPAIGNS", "available_campaigns", "build_campaign", "register_campaign"]
+__all__ = [
+    "CAMPAIGNS",
+    "available_campaigns",
+    "build_campaign",
+    "campaign_description",
+    "register_campaign",
+]
 
 CampaignFactory = Callable[[], Campaign]
 
 #: Registered campaign factories, by name.
 CAMPAIGNS: Dict[str, CampaignFactory] = {}
 
+#: One-line descriptions recorded at registration, so listing campaigns
+#: (``sradgen --list-campaigns``) never has to expand a job grid.
+_DESCRIPTIONS: Dict[str, str] = {}
 
-def register_campaign(factory: CampaignFactory) -> CampaignFactory:
-    """Register a campaign factory under the name of the campaign it builds."""
-    CAMPAIGNS[factory().name] = factory
-    return factory
+
+def register_campaign(
+    name: str, description: str = ""
+) -> Callable[[CampaignFactory], CampaignFactory]:
+    """Register a campaign factory under ``name`` without building it.
+
+    Registration is lazy on purpose: building a campaign expands its full
+    job grid, and ``import repro.engine`` must not pay for eight grids
+    nobody asked for.  The grid is only expanded when
+    :func:`build_campaign` is called, which also checks that the factory
+    really produces a campaign of the registered name and stamps the
+    registered ``description`` onto it.
+    """
+
+    if callable(name):
+        # The pre-lazy API was a bare decorator; registering a factory under
+        # a function object would silently drop the campaign.
+        raise TypeError(
+            "register_campaign now takes the campaign name: "
+            'use @register_campaign("name")'
+        )
+
+    def decorator(factory: CampaignFactory) -> CampaignFactory:
+        CAMPAIGNS[name] = factory
+        _DESCRIPTIONS[name] = description
+        return factory
+
+    return decorator
 
 
 def available_campaigns() -> List[str]:
     """Registered campaign names, sorted."""
     return sorted(CAMPAIGNS)
+
+
+def campaign_description(name: str) -> str:
+    """Registered one-line description of campaign ``name`` (no grid built)."""
+    return _DESCRIPTIONS.get(name, "")
 
 
 def build_campaign(name: str) -> Campaign:
@@ -40,32 +78,46 @@ def build_campaign(name: str) -> Campaign:
         raise KeyError(
             f"unknown campaign {name!r}; available: {', '.join(available_campaigns())}"
         ) from None
-    return factory()
+    campaign = factory()
+    if campaign.name != name:
+        raise ValueError(
+            f"campaign factory registered as {name!r} built {campaign.name!r}"
+        )
+    if not campaign.description:
+        campaign.description = _DESCRIPTIONS.get(name, "")
+    return campaign
 
 
-@register_campaign
+@register_campaign(
+    "smoke",
+    description="2 workloads x one 4x4 array x all styles (CI smoke test)",
+)
 def smoke_campaign() -> Campaign:
     """Tiny grid used by CI and the test suite (seconds, not minutes)."""
     return Campaign.from_grid(
         "smoke",
         workloads=("fifo", "dct"),
         geometries=((4, 4),),
-        description="2 workloads x one 4x4 array x all styles (CI smoke test)",
     )
 
 
-@register_campaign
+@register_campaign(
+    "demo",
+    description="4 workloads x 3 array sizes x all styles (quickstart demo)",
+)
 def demo_campaign() -> Campaign:
     """The headline campaign: 4 workloads x 3 array sizes x all styles."""
     return Campaign.from_grid(
         "demo",
         workloads=("fifo", "dct", "motion_est_read", "zoombytwo"),
         geometries=((4, 4), (8, 8), (16, 16)),
-        description="4 workloads x 3 array sizes x all styles (quickstart demo)",
     )
 
 
-@register_campaign
+@register_campaign(
+    "fig8",
+    description="paper Fig. 8 -- motion-estimation delay vs array size",
+)
 def fig8_campaign() -> Campaign:
     """Figure 8: SRAG vs CntAG delay as the array grows."""
     return Campaign.from_grid(
@@ -73,11 +125,13 @@ def fig8_campaign() -> Campaign:
         workloads=("motion_est_read",),
         geometries=((8, 8), (16, 16), (32, 32), (64, 64)),
         styles=(("SRAG", "two-hot"), ("CntAG", "decoders")),
-        description="paper Fig. 8 -- motion-estimation delay vs array size",
     )
 
 
-@register_campaign
+@register_campaign(
+    "fig10",
+    description="paper Fig. 10 -- motion-estimation area vs array size",
+)
 def fig10_campaign() -> Campaign:
     """Figure 10: SRAG vs CntAG area as the array grows."""
     return Campaign.from_grid(
@@ -85,11 +139,13 @@ def fig10_campaign() -> Campaign:
         workloads=("motion_est_read", "motion_est_write"),
         geometries=((8, 8), (16, 16), (32, 32), (64, 64)),
         styles=(("SRAG", "two-hot"), ("CntAG", "decoders"), ("CntAG", "adders")),
-        description="paper Fig. 10 -- motion-estimation area vs array size",
     )
 
 
-@register_campaign
+@register_campaign(
+    "cross_workload",
+    description="9 workloads x 3 array sizes x all styles",
+)
 def cross_workload_campaign() -> Campaign:
     """Every Table 3 workload across geometries -- the paper's open grid."""
     return Campaign.from_grid(
@@ -106,22 +162,26 @@ def cross_workload_campaign() -> Campaign:
             "interleaved_row",
         ),
         geometries=((4, 4), (8, 8), (16, 16)),
-        description="9 workloads x 3 array sizes x all styles",
     )
 
 
-@register_campaign
+@register_campaign(
+    "fifo_depths",
+    description="FIFO at 7 depths x all styles (Figs. 3-4 axis)",
+)
 def fifo_depth_campaign() -> Campaign:
     """FIFO/incremental access at many depths (the Figures 3-4 axis)."""
     return Campaign.from_grid(
         "fifo_depths",
         workloads=("fifo",),
         geometries=((4, 4), (4, 8), (8, 8), (8, 16), (16, 16), (16, 32), (32, 32)),
-        description="FIFO at 7 depths x all styles (Figs. 3-4 axis)",
     )
 
 
-@register_campaign
+@register_campaign(
+    "power",
+    description="SRAG vs CntAG vs FSM energy/access, 4 workloads x 3 sizes",
+)
 def power_campaign() -> Campaign:
     """The paper's deferred future work: SRAG vs CntAG vs FSM power.
 
@@ -142,11 +202,13 @@ def power_campaign() -> Campaign:
             ("FSM", "binary"),
         ),
         power_cycles=256,
-        description="SRAG vs CntAG vs FSM energy/access, 4 workloads x 3 sizes",
     )
 
 
-@register_campaign
+@register_campaign(
+    "library_corners",
+    description="3 workloads x 2 sizes x 3 library corners x all styles",
+)
 def library_corners_campaign() -> Campaign:
     """Library-corner sensitivity: the demo grid under all three corners."""
     return Campaign.from_grid(
@@ -154,5 +216,37 @@ def library_corners_campaign() -> Campaign:
         workloads=("fifo", "dct", "motion_est_read"),
         geometries=((8, 8), (16, 16)),
         libraries=("std018", "std018_fast", "std018_lp"),
-        description="3 workloads x 2 sizes x 3 library corners x all styles",
     )
+
+
+@register_campaign(
+    "opt_levels",
+    description="O0 vs O1 logic optimization, 4 workloads x 2 sizes x 4 styles",
+)
+def opt_levels_campaign() -> Campaign:
+    """O0 versus O1: what logic optimization is worth, as a cached metric.
+
+    Every point of a representative workload x geometry x style grid is
+    evaluated twice -- once on the raw generated netlist (O0, the numbers
+    every earlier campaign reports) and once with the
+    :mod:`repro.synth.opt` pipeline enabled (O1, what a real synthesis tool
+    would report).  The O1 records carry ``opt_cells_removed`` so the win
+    is a first-class, cached, Pareto-comparable metric.
+    """
+    grid = dict(
+        workloads=("fifo", "dct", "motion_est_read", "zoombytwo"),
+        geometries=((8, 8), (16, 16)),
+        styles=(
+            ("SRAG", "two-hot"),
+            ("CntAG", "decoders"),
+            ("CntAG", "adders"),
+            ("FSM", "binary"),
+        ),
+    )
+    baseline = Campaign.from_grid(
+        "opt_levels",
+        opt_level=0,
+        **grid,
+    )
+    optimized = Campaign.from_grid("opt_levels", opt_level=1, **grid)
+    return baseline.extended(optimized.jobs)

@@ -73,13 +73,14 @@ class AddressGeneratorDesign(abc.ABC):
         library: CellLibrary = STD018,
         *,
         max_fanout: int = 8,
+        opt_level: int = 0,
         metadata: Optional[Dict[str, object]] = None,
     ) -> SynthesisResult:
         """Run the synthesis flow on the design's netlist.
 
-        The flow buffers a private clone of the netlist, so repeated
-        synthesis runs (under different libraries, say) all start from the
-        same un-buffered design.
+        The flow optimizes and buffers a private clone of the netlist, so
+        repeated synthesis runs (under different libraries or opt levels,
+        say) all start from the same raw design.
         """
         netlist = self.netlist
         info: Dict[str, object] = {
@@ -94,6 +95,7 @@ class AddressGeneratorDesign(abc.ABC):
             netlist,
             library=library,
             max_fanout=max_fanout,
+            opt_level=opt_level,
             name=self.name,
             metadata=info,
         )

@@ -22,7 +22,7 @@ conventional RAM whose decoders are internal.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.generators.base import AddressGeneratorDesign
 from repro.hdl.components.adder import build_ripple_adder

@@ -319,6 +319,73 @@ class Netlist:
             name=f"const{value}",
         )
 
+    # ------------------------------------------------------------- rewriting
+    def replace_net(self, old: Net, new: Net) -> int:
+        """Re-point every load and output-port alias of ``old`` at ``new``.
+
+        ``old`` keeps its driver (if any) but ends up with no loads, which is
+        the primitive behind every netlist-rewriting optimization: fold a
+        cell by replacing its output net with an equivalent net, then remove
+        the cell.  Returns the number of connections moved.
+        """
+        if old is new:
+            return 0
+        for net in (old, new):
+            if self._nets.get(net.name) is not net:
+                raise NetlistError(f"net {net.name!r} is not in this netlist")
+        moved = 0
+        for cell, pin in old.loads:
+            cell.pins[pin] = new
+            new.loads.append((cell, pin))
+            moved += 1
+        old.loads = []
+        for port_name, net in self._outputs.items():
+            if net is old:
+                self._outputs[port_name] = new
+                moved += 1
+        return moved
+
+    def remove_cell(self, name: str) -> Cell:
+        """Disconnect and delete the cell instance ``name``.
+
+        Output nets driven by the cell are left undriven (the caller either
+        re-drives them or prunes them); input nets lose the corresponding
+        load entries.  Returns the removed cell.
+        """
+        if name not in self._cells:
+            raise NetlistError(f"unknown cell instance {name!r}")
+        cell = self._cells.pop(name)
+        for pin_name, net in cell.pins.items():
+            if pin_name in cell.spec.outputs:
+                if net.driver == (cell, pin_name):
+                    net.driver = None
+            else:
+                try:
+                    net.loads.remove((cell, pin_name))
+                except ValueError:
+                    pass
+        return cell
+
+    def prune_dangling_nets(self) -> int:
+        """Delete nets with no driver, no loads and no port role.
+
+        Returns the number of nets removed.  Top-level input nets and nets
+        aliased by an output port are never pruned, so the interface of the
+        netlist is stable under optimization.
+        """
+        aliased = {id(net) for net in self._outputs.values()}
+        doomed = [
+            name
+            for name, net in self._nets.items()
+            if net.driver is None
+            and not net.loads
+            and not net.is_input
+            and id(net) not in aliased
+        ]
+        for name in doomed:
+            del self._nets[name]
+        return len(doomed)
+
     # ----------------------------------------------------------------- copy
     def clone(self) -> "Netlist":
         """Deep copy of the netlist (cells, nets and ports all re-created).

@@ -16,7 +16,7 @@ synthesis layer.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Mapping, Sequence, Tuple
 
 __all__ = [

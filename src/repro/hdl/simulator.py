@@ -10,9 +10,9 @@ their area and delay are measured.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from repro.hdl.netlist import Bus, Cell, Net, Netlist
+from repro.hdl.netlist import Cell, Net, Netlist
 from repro.hdl.primitives import combinational_eval, flop_next_state
 
 __all__ = ["Simulator", "SimulationError"]

@@ -17,7 +17,7 @@ write would short multiple cells together, so the model raises
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 __all__ = ["MemoryCellArray", "MultipleSelectError"]
 

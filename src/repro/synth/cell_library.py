@@ -24,7 +24,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional
+from typing import Dict
 
 __all__ = [
     "CellCharacteristics",

@@ -2,8 +2,9 @@
 
 ``run_synthesis_flow`` is the stand-in for "synthesise this design with
 Design Compiler and read area/delay off the report": it validates the
-netlist, inserts buffer trees on high-fanout nets, and runs static timing
-analysis and area accounting against the chosen standard-cell library.
+netlist, optionally runs logic optimization (``opt_level``), inserts buffer
+trees on high-fanout nets, and runs static timing analysis and area
+accounting against the chosen standard-cell library.
 """
 
 from __future__ import annotations
@@ -14,6 +15,7 @@ from repro.hdl.netlist import Netlist
 from repro.synth.area import area_report
 from repro.synth.buffering import insert_buffer_trees
 from repro.synth.cell_library import CellLibrary, STD018
+from repro.synth.opt import optimize_netlist
 from repro.synth.report import SynthesisResult
 from repro.synth.timing import timing_report
 
@@ -25,22 +27,28 @@ def run_synthesis_flow(
     *,
     library: CellLibrary = STD018,
     max_fanout: int = 8,
+    opt_level: int = 0,
     name: Optional[str] = None,
     metadata: Optional[Dict[str, object]] = None,
 ) -> SynthesisResult:
-    """Buffer, time and measure ``netlist``; return a :class:`SynthesisResult`.
+    """Optimize, buffer, time and measure ``netlist``; return a :class:`SynthesisResult`.
 
     Parameters
     ----------
     netlist:
-        The design to evaluate.  Buffer insertion runs on a private clone
-        (the synthesis tool's working copy), so the caller's netlist is left
-        untouched and can be re-synthesised -- under another library, say --
-        without accumulating buffer trees.
+        The design to evaluate.  Optimization and buffer insertion run on a
+        private clone (the synthesis tool's working copy), so the caller's
+        netlist is left untouched and can be re-synthesised -- under another
+        library or opt level, say -- without accumulating rewrites.
     library:
         Standard-cell characterisation to use.
     max_fanout:
         Maximum fanout allowed before a buffer tree is inserted.
+    opt_level:
+        Logic-optimization effort.  0 (the default) reports on the raw
+        generated netlist, exactly as before optimization existed; 1 runs
+        the full :mod:`repro.synth.opt` pipeline before buffering and
+        timing, the way a real synthesis tool always would.
     name:
         Report name; defaults to the netlist name.
     metadata:
@@ -48,6 +56,12 @@ def run_synthesis_flow(
     """
     netlist.validate()
     working_copy = netlist.clone()
+    opt_report = None
+    if opt_level:
+        opt_report = optimize_netlist(working_copy, opt_level=opt_level)
+        # Cheap invariant check: optimization must hand buffering/timing a
+        # structurally sound netlist or every figure downstream is garbage.
+        working_copy.validate()
     buffers = insert_buffer_trees(working_copy, max_fanout=max_fanout)
     timing = timing_report(working_copy, library)
     area = area_report(working_copy, library)
@@ -57,5 +71,6 @@ def run_synthesis_flow(
         timing=timing,
         buffers_inserted=buffers,
         netlist=working_copy,
+        opt_report=opt_report,
         metadata=dict(metadata or {}),
     )

@@ -20,11 +20,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.hdl.components.gates import build_or_tree
 from repro.hdl.netlist import Net, Netlist
-from repro.synth.fsm.encoding import StateEncoding, encoding_by_name
+from repro.synth.fsm.encoding import encoding_by_name
 from repro.synth.fsm.fsm import FiniteStateMachine
 from repro.synth.logic.minimize import MinimizationStats, minimize
 from repro.synth.logic.synthesize import sop_to_netlist

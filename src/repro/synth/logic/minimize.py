@@ -17,8 +17,8 @@ took over six hours while the shift-register solution took 36 minutes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
 
 from repro.synth.logic.truth_table import TruthTable
 

@@ -1,0 +1,403 @@
+"""Individual logic-optimization passes.
+
+Each pass is a small equivalence-preserving rewrite over a
+:class:`~repro.hdl.netlist.Netlist` built from three primitives the netlist
+itself provides: :meth:`~repro.hdl.netlist.Netlist.replace_net` (re-point
+loads and output-port aliases at an equivalent net),
+:meth:`~repro.hdl.netlist.Netlist.remove_cell` and
+:meth:`~repro.hdl.netlist.Netlist.prune_dangling_nets`.  A pass runs to its
+own fixpoint and returns a :class:`PassStats`; the
+:class:`~repro.synth.opt.manager.PassManager` iterates the whole pipeline
+until a full round changes nothing.
+
+Soundness notes
+---------------
+
+* Both simulators initialise every net and every flip-flop to 0, so a flop
+  whose next-state function is identically 0 under its constant inputs is a
+  constant-0 net, and two flops of the same type with identical input nets
+  hold identical state on every cycle.  Both facts are exploited below and
+  pinned by the equivalence suite.
+* Rewrites only ever touch cell output nets: top-level input nets are never
+  replaced, and output-port aliases are moved (never dropped), so the port
+  interface of the netlist is exactly preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.hdl.netlist import Cell, Net, Netlist
+
+__all__ = [
+    "BufferCollapsePass",
+    "ConstantFoldPass",
+    "DeadCellPass",
+    "InvPairPass",
+    "PassStats",
+    "SharePass",
+]
+
+
+@dataclass
+class PassStats:
+    """What one pass did to the netlist.
+
+    Attributes
+    ----------
+    name:
+        Pass name (stable identifier used in reports).
+    removed:
+        Cell instances deleted.
+    added:
+        Cell instances created (tie sources, NAND-to-INV rewrites), so
+        ``original + added - removed == remaining`` always holds.
+    merged:
+        Duplicate cells folded into a surviving equivalent (a subset of
+        ``removed``).
+    iterations:
+        Sweeps the pass needed to reach its local fixpoint.
+    """
+
+    name: str
+    removed: int = 0
+    added: int = 0
+    merged: int = 0
+    iterations: int = 0
+
+    @property
+    def changed(self) -> bool:
+        """True when the pass modified the netlist."""
+        return bool(self.removed or self.added)
+
+    def absorb(self, other: "PassStats") -> None:
+        """Accumulate another run of the same pass into this record."""
+        self.removed += other.removed
+        self.added += other.added
+        self.merged += other.merged
+        self.iterations += other.iterations
+
+
+# ---------------------------------------------------------------------------
+# Constant propagation / tie-cell folding
+# ---------------------------------------------------------------------------
+
+#: Bounded partial evaluation: cells with more than this many distinct
+#: non-constant input nets are left alone (every primitive has <= 4 inputs,
+#: so only fully-free 4-input gates are skipped).
+_MAX_FREE_NETS = 3
+
+
+class ConstantFoldPass:
+    """Propagate TIE0/TIE1 values and fold cells they make redundant.
+
+    For every combinational cell the pass partially evaluates the cell's
+    functional model over its non-constant inputs (at most ``2**3``
+    evaluations).  Cells whose output is constant become ties, cells whose
+    output equals one free input become wires, and cells whose output is
+    the complement of one free input become inverters (e.g. a NAND2 with a
+    tied-high input).  Flip-flops whose next state is identically 0 under
+    their constant inputs (a DFF fed from TIE0, say) are constant-0 nets,
+    because every flop starts in state 0.
+    """
+
+    name = "const_fold"
+
+    def run(self, netlist: Netlist) -> PassStats:
+        stats = PassStats(self.name)
+        changed = True
+        while changed:
+            changed = False
+            stats.iterations += 1
+            const_of = self._known_constants(netlist)
+            for cell in netlist.topological_combinational_order():
+                if cell.name not in netlist.cells:
+                    continue  # removed earlier in this sweep
+                if self._fold_comb(netlist, cell, const_of, stats):
+                    changed = True
+            for cell in list(netlist.sequential_cells()):
+                if self._fold_flop(netlist, cell, const_of, stats):
+                    changed = True
+            netlist.prune_dangling_nets()
+        return stats
+
+    # ------------------------------------------------------------- internals
+    @staticmethod
+    def _known_constants(netlist: Netlist) -> Dict[int, int]:
+        """Map ``id(net) -> 0/1`` for every tie-driven net."""
+        const_of: Dict[int, int] = {}
+        for cell in netlist.cells.values():
+            if cell.cell_type in ("TIE0", "TIE1"):
+                const_of[id(cell.pins["Y"])] = 1 if cell.cell_type == "TIE1" else 0
+        return const_of
+
+    @staticmethod
+    def _tie_net(netlist: Netlist, value: int, const_of: Dict[int, int],
+                 stats: PassStats) -> Net:
+        """Return a net carrying ``value``, creating one tie source on demand."""
+        cell_type = "TIE1" if value else "TIE0"
+        for cell in netlist.cells.values():
+            if cell.cell_type == cell_type:
+                return cell.pins["Y"]
+        net = netlist.new_net("opt_tie")
+        netlist.add_cell(cell_type, Y=net)
+        stats.added += 1
+        const_of[id(net)] = value
+        return net
+
+    @staticmethod
+    def _analyse(cell: Cell, const_of: Dict[int, int],
+                 sequential: bool) -> Optional[Tuple[str, object]]:
+        """Classify a cell's output under its constant inputs.
+
+        Returns ``("const", value)``, ``("wire", net)``, ``("inv", net)`` or
+        ``None``.  For flip-flops the next-state function is evaluated with
+        the current state pinned to 0 (the reset state both simulators start
+        from), so only the ``("const", 0)`` outcome is sound and reported.
+        """
+        spec = cell.spec
+        out_pin = spec.outputs[0]
+        pin_net = {p: cell.pins[p] for p in spec.inputs}
+        free_nets: List[Net] = []
+        for pin in spec.inputs:
+            if sequential and pin == "CLK":
+                continue  # functionally ignored by every flop model
+            net = pin_net[pin]
+            if id(net) in const_of:
+                continue
+            if not any(net is seen for seen in free_nets):
+                free_nets.append(net)
+        if len(free_nets) > _MAX_FREE_NETS:
+            return None
+        slot = {id(net): i for i, net in enumerate(free_nets)}
+        outputs: List[int] = []
+        for combo in range(1 << len(free_nets)):
+            pins = {}
+            for pin in spec.inputs:
+                net = pin_net[pin]
+                if sequential and pin == "CLK":
+                    pins[pin] = 0
+                elif id(net) in const_of:
+                    pins[pin] = const_of[id(net)]
+                else:
+                    pins[pin] = (combo >> slot[id(net)]) & 1
+            if sequential:
+                pins["Q"] = 0
+            outputs.append(1 if spec.eval_fn(pins)[out_pin] else 0)
+        if all(v == outputs[0] for v in outputs):
+            return ("const", outputs[0])
+        if sequential:
+            return None
+        for i, net in enumerate(free_nets):
+            bits = [(combo >> i) & 1 for combo in range(len(outputs))]
+            if outputs == bits:
+                return ("wire", net)
+            if outputs == [1 - b for b in bits]:
+                return ("inv", net)
+        return None
+
+    def _fold_comb(self, netlist: Netlist, cell: Cell,
+                   const_of: Dict[int, int], stats: PassStats) -> bool:
+        # Ties are the constant sources; buffers trivially wire-fold, but
+        # that rewrite belongs to BufferCollapsePass so per-pass stats say
+        # where buffer removal actually happens.
+        if cell.cell_type in ("TIE0", "TIE1", "BUF") or len(cell.spec.outputs) != 1:
+            return False
+        verdict = self._analyse(cell, const_of, sequential=False)
+        if verdict is None:
+            return False
+        kind, payload = verdict
+        out_net = cell.pins[cell.spec.outputs[0]]
+        if kind == "const":
+            target = self._tie_net(netlist, payload, const_of, stats)
+            if target is out_net:
+                return False  # the canonical tie itself feeds through here
+            netlist.replace_net(out_net, target)
+            netlist.remove_cell(cell.name)
+            stats.removed += 1
+            return True
+        if kind == "wire":
+            netlist.replace_net(out_net, payload)
+            netlist.remove_cell(cell.name)
+            stats.removed += 1
+            return True
+        # kind == "inv": rewrite the gate as a plain inverter, keeping the
+        # output net so downstream pins are untouched.  An INV already is
+        # the complement of its input; rewriting it would loop forever.
+        if cell.cell_type == "INV":
+            return False
+        netlist.remove_cell(cell.name)
+        netlist.add_cell("INV", A=payload, Y=out_net)
+        stats.removed += 1
+        stats.added += 1
+        return True
+
+    def _fold_flop(self, netlist: Netlist, cell: Cell,
+                   const_of: Dict[int, int], stats: PassStats) -> bool:
+        verdict = self._analyse(cell, const_of, sequential=True)
+        if verdict != ("const", 0):
+            return False
+        out_net = cell.pins[cell.spec.outputs[0]]
+        target = self._tie_net(netlist, 0, const_of, stats)
+        netlist.replace_net(out_net, target)
+        netlist.remove_cell(cell.name)
+        stats.removed += 1
+        return True
+
+
+# ---------------------------------------------------------------------------
+# Structural common-subexpression sharing
+# ---------------------------------------------------------------------------
+
+#: Cell types whose inputs are fully interchangeable.
+_COMMUTATIVE = frozenset(
+    ["AND2", "AND3", "AND4", "NAND2", "NAND3", "NAND4",
+     "OR2", "OR3", "OR4", "NOR2", "NOR3", "NOR4", "XOR2", "XNOR2"]
+)
+
+#: Cell types where only the (A, B) pair commutes.
+_AB_COMMUTATIVE = frozenset(["AOI21", "OAI21"])
+
+
+def _signature(cell: Cell) -> Tuple[str, tuple]:
+    """Canonical (type, inputs) key: equal signatures compute equal outputs."""
+    names = tuple(cell.pins[p].name for p in cell.spec.inputs)
+    if cell.cell_type in _COMMUTATIVE:
+        return (cell.cell_type, tuple(sorted(names)))
+    if cell.cell_type in _AB_COMMUTATIVE:
+        a, b, c = names
+        return (cell.cell_type, (*sorted((a, b)), c))
+    return (cell.cell_type, names)
+
+
+class SharePass:
+    """Merge structurally identical cells (same type, same input nets).
+
+    Inputs of commutative gates are canonicalised by sorting, so
+    ``AND2(a, b)`` and ``AND2(b, a)`` share.  Flip-flops participate too:
+    two flops of the same type with identical input nets hold identical
+    state on every cycle (both start at 0), so one can drive all loads.
+    The decoder AND trees are the big winner -- every pair of output lines
+    shares its common prefix terms after this pass.
+    """
+
+    name = "share"
+
+    def run(self, netlist: Netlist) -> PassStats:
+        stats = PassStats(self.name)
+        changed = True
+        while changed:
+            changed = False
+            stats.iterations += 1
+            keeper_for: Dict[Tuple[str, tuple], Cell] = {}
+            for cell in list(netlist.cells.values()):
+                if cell.name not in netlist.cells:
+                    continue
+                key = _signature(cell)
+                keeper = keeper_for.get(key)
+                if keeper is None:
+                    keeper_for[key] = cell
+                    continue
+                for pin in cell.spec.outputs:
+                    netlist.replace_net(cell.pins[pin], keeper.pins[pin])
+                netlist.remove_cell(cell.name)
+                stats.removed += 1
+                stats.merged += 1
+                changed = True
+            netlist.prune_dangling_nets()
+        return stats
+
+
+# ---------------------------------------------------------------------------
+# Inverter-pair and buffer-chain collapsing
+# ---------------------------------------------------------------------------
+
+class InvPairPass:
+    """Collapse INV->INV chains: the second inverter's output is the first's input."""
+
+    name = "inv_pairs"
+
+    def run(self, netlist: Netlist) -> PassStats:
+        stats = PassStats(self.name)
+        changed = True
+        while changed:
+            changed = False
+            stats.iterations += 1
+            for cell in list(netlist.cells.values()):
+                if cell.cell_type != "INV" or cell.name not in netlist.cells:
+                    continue
+                driver = cell.pins["A"].driver
+                if driver is None or driver[0].cell_type != "INV":
+                    continue
+                netlist.replace_net(cell.pins["Y"], driver[0].pins["A"])
+                netlist.remove_cell(cell.name)
+                stats.removed += 1
+                changed = True
+            netlist.prune_dangling_nets()
+        return stats
+
+
+class BufferCollapsePass:
+    """Remove BUF cells by wiring their loads straight to their inputs.
+
+    Buffer *trees* for high-fanout nets are a physical necessity, but they
+    are re-inserted by the synthesis flow after optimization; any buffer
+    present before that stage is pure area.
+    """
+
+    name = "buffers"
+
+    def run(self, netlist: Netlist) -> PassStats:
+        stats = PassStats(self.name)
+        stats.iterations = 1
+        for cell in list(netlist.cells.values()):
+            if cell.cell_type != "BUF" or cell.name not in netlist.cells:
+                continue
+            netlist.replace_net(cell.pins["Y"], cell.pins["A"])
+            netlist.remove_cell(cell.name)
+            stats.removed += 1
+        netlist.prune_dangling_nets()
+        return stats
+
+
+# ---------------------------------------------------------------------------
+# Dead- and unreachable-cell elimination
+# ---------------------------------------------------------------------------
+
+class DeadCellPass:
+    """Mark-and-sweep: delete every cell that cannot reach an output port.
+
+    Liveness starts at the nets aliased by top-level output ports and walks
+    backwards through cell inputs (flip-flops included, so a live flop keeps
+    its feedback cone alive).  Everything unmarked -- including whole dead
+    registers and the cones that only fed them -- is removed, and dangling
+    nets are pruned.
+    """
+
+    name = "dead_cells"
+
+    def run(self, netlist: Netlist) -> PassStats:
+        stats = PassStats(self.name)
+        stats.iterations = 1
+        live_cells: set = set()
+        worklist: List[Net] = list(netlist.outputs.values())
+        seen = {id(net) for net in worklist}
+        while worklist:
+            net = worklist.pop()
+            if net.driver is None:
+                continue
+            cell = net.driver[0]
+            if cell.name in live_cells:
+                continue
+            live_cells.add(cell.name)
+            for upstream in cell.input_nets().values():
+                if id(upstream) not in seen:
+                    seen.add(id(upstream))
+                    worklist.append(upstream)
+        for cell in list(netlist.cells.values()):
+            if cell.name not in live_cells:
+                netlist.remove_cell(cell.name)
+                stats.removed += 1
+        netlist.prune_dangling_nets()
+        return stats

@@ -7,6 +7,7 @@ from typing import Dict, Optional
 
 from repro.hdl.netlist import Netlist
 from repro.synth.area import AreaReport
+from repro.synth.opt import OptReport
 from repro.synth.timing import TimingReport
 
 __all__ = ["SynthesisResult"]
@@ -31,10 +32,13 @@ class SynthesisResult:
     buffers_inserted:
         Number of buffers added by high-fanout buffering.
     netlist:
-        The synthesis tool's working copy -- the buffered clone the area and
-        timing numbers were measured on.  Downstream analyses (the power
-        study) must run on this netlist so all metrics in one result
-        describe the same structure.
+        The synthesis tool's working copy -- the optimized and buffered
+        clone the area and timing numbers were measured on.  Downstream
+        analyses (the power study) must run on this netlist so all metrics
+        in one result describe the same structure.
+    opt_report:
+        Per-pass logic-optimization statistics (``None`` when the flow ran
+        at ``opt_level=0``).
     metadata:
         Free-form extra data (sequence length, array shape, generator style,
         mapping parameters) recorded by the experiment harnesses.
@@ -45,6 +49,7 @@ class SynthesisResult:
     timing: TimingReport
     buffers_inserted: int = 0
     netlist: Optional[Netlist] = None
+    opt_report: Optional[OptReport] = None
     metadata: Dict[str, object] = field(default_factory=dict)
 
     @property

@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.hdl.netlist import Cell, Net, Netlist
+from repro.hdl.netlist import Cell, Netlist
 from repro.synth.cell_library import CellLibrary, STD018, net_load
 
 __all__ = ["PathSegment", "TimingReport", "timing_report"]

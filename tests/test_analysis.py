@@ -1,6 +1,5 @@
 """Tests for the trade-off analysis, design-space explorer and reporting."""
 
-import math
 
 import pytest
 
@@ -108,6 +107,47 @@ def test_explore_skips_fsm_for_long_sequences():
         motion_estimation.new_img_read_pattern(8, 8, 2, 2), max_fsm_states=16
     )
     assert all(point.style != "FSM" for point in result.points)
+
+
+def test_explore_records_failures_raised_during_evaluation(monkeypatch):
+    """Regression: a failure inside synthesize() must be skipped, not raised.
+
+    Candidate construction can succeed while elaboration/synthesis later
+    raises (the netlist is built lazily); the docstring promises those land
+    in ``skipped`` like construction failures do.
+    """
+    import repro.analysis.explorer as explorer_module
+    from repro.hdl.netlist import NetlistError
+
+    class ExplodingDesign:
+        style = "BOOM"
+
+        def synthesize(self, library, **kwargs):
+            raise NetlistError("elaboration exploded late")
+
+    pattern = fifo.fifo_pattern(4, 4)
+    real_factories = explorer_module.candidate_factories
+
+    def with_exploder(*args, **kwargs):
+        return real_factories(*args, **kwargs) + [
+            ("BOOM", "late", lambda: ExplodingDesign())
+        ]
+
+    monkeypatch.setattr(explorer_module, "candidate_factories", with_exploder)
+    result = explore(pattern)
+    assert any(p.style == "BOOM" for p in result.skipped)
+    boom = next(p for p in result.skipped if p.style == "BOOM")
+    assert not boom.applicable and "exploded late" in boom.note
+    # The survivors are unaffected.
+    assert {p.style for p in result.points} >= {"SRAG", "CntAG"}
+
+
+def test_explore_passes_opt_level_through_to_synthesis():
+    raw = explore(fifo.fifo_pattern(8, 8))
+    opt = explore(fifo.fifo_pattern(8, 8), opt_level=1)
+    area = {(p.style, p.variant): p.area_cells for p in raw.points}
+    area_opt = {(p.style, p.variant): p.area_cells for p in opt.points}
+    assert area_opt[("CntAG", "decoders")] < area[("CntAG", "decoders")]
 
 
 # ---------------------------------------------------------------------------

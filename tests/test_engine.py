@@ -1,6 +1,5 @@
 """Tests for the campaign engine: jobs, cache, runner, sweeps and CLI."""
 
-import json
 import random
 
 import pytest
@@ -10,8 +9,12 @@ from repro.cli import main
 from repro.engine.cache import ResultCache
 from repro.engine.jobs import Campaign, EvalJob, STYLE_VARIANTS, build_design
 from repro.engine.pareto import pareto_indices, pareto_min
-from repro.engine.runner import CampaignResult, CampaignRunner, EvalRecord, evaluate_job
-from repro.engine.sweep import available_campaigns, build_campaign
+from repro.engine.runner import CampaignRunner, EvalRecord, evaluate_job
+from repro.engine.sweep import (
+    available_campaigns,
+    build_campaign,
+    campaign_description,
+)
 from repro.workloads.registry import available_workloads, build_pattern
 
 
@@ -348,6 +351,104 @@ def test_registered_campaigns_all_build():
         assert len(campaign) > 0
         for job in campaign:
             assert job.workload in available_workloads()
+
+
+def test_importing_sweep_builds_no_campaigns(monkeypatch):
+    """Regression: registration must be lazy -- importing ``repro.engine``
+    used to expand all eight campaign grids just to read their names."""
+    import importlib
+
+    import repro.engine.sweep as sweep_module
+
+    built = []
+    original_init = Campaign.__init__
+
+    def counting_init(self, *args, **kwargs):
+        built.append(1)
+        original_init(self, *args, **kwargs)
+
+    monkeypatch.setattr(Campaign, "__init__", counting_init)
+    importlib.reload(sweep_module)
+    assert built == [], "import-time registration expanded a campaign grid"
+    # Listing names and descriptions must stay grid-free too.
+    for name in sweep_module.available_campaigns():
+        sweep_module.campaign_description(name)
+    assert built == []
+    # Grids are only expanded on demand, and the registry is intact.
+    campaign = sweep_module.build_campaign("smoke")
+    assert built and campaign.name == "smoke"
+    assert set(sweep_module.available_campaigns()) == set(available_campaigns())
+
+
+def test_campaign_descriptions_are_registered_and_stamped():
+    for name in available_campaigns():
+        description = campaign_description(name)
+        assert description, f"campaign {name!r} registered without a description"
+        assert build_campaign(name).description == description
+
+
+def test_register_campaign_rejects_legacy_bare_decorator_usage():
+    from repro.engine.sweep import register_campaign
+
+    with pytest.raises(TypeError, match="campaign name"):
+        @register_campaign
+        def orphan() -> Campaign:  # pragma: no cover - must not register
+            return Campaign("orphan", [])
+
+
+def test_build_campaign_rejects_name_mismatch(monkeypatch):
+    import repro.engine.sweep as sweep_module
+
+    monkeypatch.setitem(
+        sweep_module.CAMPAIGNS, "liar", lambda: Campaign("truth", [])
+    )
+    with pytest.raises(ValueError, match="liar"):
+        sweep_module.build_campaign("liar")
+
+
+# ---------------------------------------------------------------------------
+# Logic optimization as a campaign axis
+# ---------------------------------------------------------------------------
+
+def test_opt_level_only_changes_key_when_enabled():
+    """Every pre-optimization cache entry must keep matching its job."""
+    base = EvalJob("fifo", 4, 4, "CntAG", "decoders")
+    assert EvalJob("fifo", 4, 4, "CntAG", "decoders", opt_level=0).key == base.key
+    assert "opt_level" not in base.spec()
+    optimized = EvalJob("fifo", 4, 4, "CntAG", "decoders", opt_level=1)
+    assert optimized.key != base.key
+    assert optimized.spec()["opt_level"] == 1
+    assert optimized.label.endswith(" O1")
+    assert not base.label.endswith(" O1")
+
+
+def test_optimized_jobs_record_the_win():
+    raw = evaluate_job(EvalJob("fifo", 8, 8, "CntAG", "decoders"))
+    opt = evaluate_job(EvalJob("fifo", 8, 8, "CntAG", "decoders", opt_level=1))
+    assert raw.status == opt.status == "ok"
+    assert raw.opt_level == 0 and raw.opt_cells_removed == 0
+    assert opt.opt_level == 1 and opt.opt_cells_removed > 0
+    assert opt.total_cells < raw.total_cells
+    assert opt.area_cells < raw.area_cells
+    assert opt.label.endswith(" O1")
+    # The cached form only grows the new fields when optimization ran.
+    assert "opt_level" not in raw.to_dict()
+    assert opt.to_dict()["opt_cells_removed"] == opt.opt_cells_removed
+    # Pre-optimization cache entries round-trip to defaulted records.
+    rebuilt = EvalRecord.from_dict(raw.to_dict(), cached=True)
+    assert rebuilt.opt_level == 0 and rebuilt.opt_cells_removed == 0
+    assert EvalRecord.from_dict(opt.to_dict()).to_dict() == opt.to_dict()
+
+
+def test_opt_levels_campaign_pairs_every_point():
+    campaign = build_campaign("opt_levels")
+    by_level = {}
+    for job in campaign:
+        by_level.setdefault(job.opt_level, set()).add(
+            (job.workload, job.rows, job.cols, job.style, job.variant)
+        )
+    assert set(by_level) == {0, 1}
+    assert by_level[0] == by_level[1]
 
 
 # ---------------------------------------------------------------------------

@@ -18,7 +18,7 @@ from repro.hdl.components import (
 )
 from repro.hdl.components.adder import build_lookahead_incrementer
 from repro.hdl.components.counter import counter_width
-from repro.hdl.netlist import Bus, Netlist, NetlistError
+from repro.hdl.netlist import Netlist, NetlistError
 from repro.hdl.simulator import Simulator
 
 

@@ -150,3 +150,71 @@ def test_output_bus_names():
     bus = Bus([netlist.const(1), netlist.const(0)])
     netlist.add_output_bus("sel", bus)
     assert set(netlist.outputs) == {"sel_0", "sel_1"}
+
+
+# ---------------------------------------------------------------------------
+# Rewriting primitives (used by the logic-optimization passes)
+# ---------------------------------------------------------------------------
+
+def _and_pair():
+    netlist = Netlist("rw")
+    a = netlist.add_input("a")
+    b = netlist.add_input("b")
+    y1 = netlist.net("y1")
+    y2 = netlist.net("y2")
+    netlist.add_cell("AND2", name="g1", A=a, B=b, Y=y1)
+    netlist.add_cell("AND2", name="g2", A=a, B=b, Y=y2)
+    inv_y = netlist.net("inv_y")
+    netlist.add_cell("INV", name="g3", A=y2, Y=inv_y)
+    netlist.add_output("o1", y2)
+    netlist.add_output("o2", inv_y)
+    return netlist
+
+
+def test_replace_net_moves_loads_and_output_aliases():
+    netlist = _and_pair()
+    y1, y2 = netlist.net("y1"), netlist.net("y2")
+    moved = netlist.replace_net(y2, y1)
+    # One cell load (the INV) and one output-port alias moved.
+    assert moved == 2
+    assert netlist.outputs["o1"] is y1
+    assert netlist.cells["g3"].pins["A"] is y1
+    assert y2.loads == [] and y2.driver is not None
+    assert netlist.replace_net(y1, y1) == 0
+    netlist.validate()
+
+
+def test_replace_net_rejects_foreign_nets():
+    netlist = _and_pair()
+    other = Netlist("other")
+    with pytest.raises(NetlistError):
+        netlist.replace_net(netlist.net("y1"), other.net("x"))
+
+
+def test_remove_cell_detaches_driver_and_loads():
+    netlist = _and_pair()
+    y2 = netlist.net("y2")
+    a = netlist.inputs["a"]
+    before = len([1 for cell, _pin in a.loads if cell.name == "g2"])
+    assert before == 1
+    removed = netlist.remove_cell("g2")
+    assert removed.name == "g2" and "g2" not in netlist.cells
+    assert y2.driver is None
+    assert all(cell.name != "g2" for cell, _pin in a.loads)
+    with pytest.raises(NetlistError):
+        netlist.remove_cell("g2")
+
+
+def test_prune_dangling_nets_spares_ports_and_connected_nets():
+    netlist = _and_pair()
+    dangling = netlist.net("floating")
+    unused_input = netlist.add_input("spare")
+    netlist.replace_net(netlist.net("y2"), netlist.net("y1"))
+    netlist.remove_cell("g2")  # leaves y2 driverless and loadless
+    pruned = netlist.prune_dangling_nets()
+    assert pruned == 2
+    assert "floating" not in netlist.nets and "y2" not in netlist.nets
+    # Ports are never pruned, even when disconnected.
+    assert unused_input.name in netlist.nets
+    assert dangling is not netlist.net("floating")  # recreated fresh is fine
+    netlist.validate()

@@ -5,7 +5,6 @@ synthesis) and assert the *qualitative* results of the paper's evaluation --
 the quantities the benchmark harness then reports numerically.
 """
 
-import pytest
 
 from repro.analysis.tradeoff import average_factors, compare_generators
 from repro.core.sradgen import generate

@@ -112,6 +112,22 @@ def test_cli_explore(capsys):
     assert "SRAG" in captured.out
 
 
+def test_cli_report_opt_level_shrinks_area(capsys):
+    base_args = ["--workload", "dct", "--rows", "8", "--cols", "8", "--report"]
+
+    def area_of(args):
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        for line in out.splitlines():
+            if "area =" in line:
+                return float(line.split("area =")[1].split("cell units")[0])
+        raise AssertionError(f"no area line in output:\n{out}")
+
+    raw = area_of(base_args)
+    optimized = area_of(base_args + ["--opt-level", "1"])
+    assert optimized < raw
+
+
 # ---------------------------------------------------------------------------
 # Campaign progress formatting
 # ---------------------------------------------------------------------------
@@ -165,6 +181,44 @@ def test_format_progress_error_record_with_empty_note():
     assert "error:" in line
     cached = _format_progress(_record("error", note="", cached=True), 2, 2)
     assert "(cached)" in cached
+
+
+def test_cli_campaign_opt_level_override(capsys):
+    """--opt-level re-levels every job of a campaign instead of being ignored."""
+    assert main(["--campaign", "smoke", "--serial", "--opt-level", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "overriding opt level: every job runs at O1" in out
+    # Every per-job progress line for this campaign carries the O1 marker.
+    job_lines = [line for line in out.splitlines() if line.startswith("  [")]
+    assert job_lines and all(" O1 " in line for line in job_lines)
+
+
+def test_cli_compact_cache_drops_superseded_lines(tmp_path, capsys):
+    """--compact-cache rewrites the JSONL file to one line per live key."""
+    cache_dir = str(tmp_path / "cache")
+    results = tmp_path / "cache" / "results.jsonl"
+    base = ["--campaign", "smoke", "--cache-dir", cache_dir, "--serial", "--quiet"]
+    assert main(base) == 0
+    lines_after_first = len(results.read_text().splitlines())
+    # --force appends a superseding line for every key.
+    assert main(base + ["--force"]) == 0
+    capsys.readouterr()
+    lines_before = len(results.read_text().splitlines())
+    assert lines_before == 2 * lines_after_first
+
+    assert main(["--compact-cache", "--cache-dir", cache_dir]) == 0
+    out = capsys.readouterr().out
+    assert f"{lines_before} -> {lines_after_first} lines" in out
+    assert len(results.read_text().splitlines()) == lines_after_first
+    # The compacted cache still serves every record.
+    assert main(base) == 0
+    assert "cache hits 16/16" in capsys.readouterr().out
+
+
+def test_cli_compact_cache_requires_cache_dir(capsys):
+    with pytest.raises(SystemExit):
+        main(["--compact-cache"])
+    assert "--cache-dir" in capsys.readouterr().err
 
 
 def test_cli_power_campaign_end_to_end(tmp_path, capsys):
