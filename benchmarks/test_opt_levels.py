@@ -12,6 +12,7 @@ fixpoint (optimizing twice changes nothing).
 
 from repro.analysis.reporting import format_table
 from repro.engine.jobs import build_design
+from repro.flow import FlowSpec
 from repro.synth.flow import run_synthesis_flow
 from repro.workloads.registry import build_pattern
 
@@ -26,7 +27,7 @@ STYLES = (
 
 def _measure(style, variant, opt_level):
     design = build_design(build_pattern("motion_est_read", 16, 16), style, variant)
-    result = run_synthesis_flow(design.netlist, opt_level=opt_level)
+    result = run_synthesis_flow(design.netlist, spec=FlowSpec(opt_level=opt_level))
     return sum(result.area.cell_counts.values()), result.area_cells, result
 
 
@@ -70,7 +71,7 @@ def test_opt_levels_table(benchmark, print_report):
 
     # Idempotence: an O1 netlist re-optimizes to itself.
     design = build_design(build_pattern("motion_est_read", 16, 16), "CntAG", "decoders")
-    once = run_synthesis_flow(design.netlist, opt_level=1)
+    once = run_synthesis_flow(design.netlist, spec=FlowSpec(opt_level=1))
     from repro.synth.opt import optimize_netlist
 
     clone = design.netlist.clone()

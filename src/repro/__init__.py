@@ -38,6 +38,7 @@ from repro.core import (
     map_address_sequence,
     map_sequence,
 )
+from repro.flow import FlowSpec
 from repro.workloads import AddressSequence
 
 __version__ = "0.1.0"
@@ -45,6 +46,7 @@ __version__ = "0.1.0"
 __all__ = [
     "__version__",
     "AddressSequence",
+    "FlowSpec",
     "MappingError",
     "SragAddressGenerator",
     "SragFunctionalModel",

@@ -20,11 +20,11 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.core.mapping_params import MappingError
-from repro.engine.jobs import FSM_ENCODINGS, candidate_factories
+from repro.engine.jobs import candidate_factories
 from repro.engine.pareto import pareto_min
+from repro.flow import FlowSpec, resolve_spec
 from repro.generators.base import AddressGeneratorDesign
 from repro.hdl.netlist import NetlistError
-from repro.synth.cell_library import CellLibrary, STD018
 from repro.workloads.loopnest import AffineAccessPattern
 
 __all__ = ["DesignPoint", "ExplorationResult", "explore", "pareto_front"]
@@ -96,10 +96,9 @@ def pareto_front(points: Sequence[DesignPoint]) -> List[DesignPoint]:
 def _evaluate(
     design: AddressGeneratorDesign,
     variant: str,
-    library: CellLibrary,
-    opt_level: int,
+    spec: FlowSpec,
 ) -> DesignPoint:
-    result = design.synthesize(library, opt_level=opt_level)
+    result = design.synthesize(spec=spec)
     return DesignPoint(
         style=design.style,
         variant=variant,
@@ -112,10 +111,11 @@ def _evaluate(
 def explore(
     pattern: AffineAccessPattern,
     *,
-    library: CellLibrary = STD018,
-    fsm_encodings: Sequence[str] = FSM_ENCODINGS,
-    max_fsm_states: int = 512,
-    opt_level: int = 0,
+    spec: Optional[FlowSpec] = None,
+    library=None,
+    fsm_encodings: Optional[Sequence[str]] = None,
+    max_fsm_states: Optional[int] = None,
+    opt_level: Optional[int] = None,
 ) -> ExplorationResult:
     """Evaluate every applicable architecture for ``pattern``.
 
@@ -129,24 +129,38 @@ def explore(
 
     Parameters
     ----------
-    max_fsm_states:
-        Symbolic-FSM variants are skipped for sequences longer than this, to
-        keep exploration time bounded (the blow-up itself is measured by the
-        synthesis-effort benchmark instead).
-    opt_level:
-        Logic-optimization effort applied by the synthesis flow at every
-        design point (0 = raw netlists, the historical behaviour).
+    spec:
+        Flow configuration (:class:`repro.flow.FlowSpec`) applied at every
+        design point; defaults to an all-defaults spec.  ``spec.fsm_encodings``
+        selects the symbolic-FSM candidates, ``spec.max_fsm_states`` skips
+        them for sequences longer than that bound (keeping exploration time
+        bounded; the blow-up itself is measured by the synthesis-effort
+        benchmark instead), and ``spec.opt_level`` sets the
+        logic-optimization effort (0 = raw netlists, the historical
+        behaviour).
+    library, fsm_encodings, max_fsm_states, opt_level:
+        Deprecated loose-keyword forms of the corresponding spec fields.
     """
+    spec = resolve_spec(
+        spec,
+        caller="explore",
+        library=library,
+        fsm_encodings=fsm_encodings,
+        max_fsm_states=max_fsm_states,
+        opt_level=opt_level,
+    )
     sequence = pattern.to_sequence()
     result = ExplorationResult(workload=sequence.name)
 
     candidates = candidate_factories(
-        pattern, fsm_encodings=fsm_encodings, max_fsm_states=max_fsm_states
+        pattern,
+        fsm_encodings=spec.fsm_encodings,
+        max_fsm_states=spec.max_fsm_states,
     )
     for style, variant, factory in candidates:
         try:
             design = factory()
-            point = _evaluate(design, variant, library, opt_level)
+            point = _evaluate(design, variant, spec)
         except (MappingError, NetlistError, ValueError) as error:
             result.skipped.append(
                 DesignPoint(

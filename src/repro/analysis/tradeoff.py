@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Sequence, Tuple
 
+from repro.flow import FlowSpec
 from repro.generators.counter_based import CounterBasedAddressGenerator
 from repro.generators.srag_design import SragDesign
 from repro.synth.cell_library import CellLibrary, STD018
@@ -85,7 +86,7 @@ def evaluate_srag(
 ) -> GeneratorMetrics:
     """Synthesise the SRAG for ``pattern`` and return its metrics."""
     design = SragDesign(pattern.to_sequence())
-    result = design.synthesize(library)
+    result = design.synthesize(spec=FlowSpec(library=library))
     return GeneratorMetrics(
         style="SRAG",
         delay_ns=result.delay_ns,
@@ -105,7 +106,7 @@ def evaluate_cntag(
     decoders.
     """
     design = CounterBasedAddressGenerator(pattern)
-    full = design.synthesize(library)
+    full = design.synthesize(spec=FlowSpec(library=library))
     components = design.component_reports(library)
     delay = components["counter"].delay_ns + max(
         components["row_decoder"].delay_ns, components["column_decoder"].delay_ns

@@ -25,6 +25,9 @@ Usage examples::
     # Synthesis figures after logic optimization (what a real tool reports)
     sradgen --workload dct --rows 8 --cols 8 --report --opt-level 1
 
+    # Bound the symbolic-FSM candidates while exploring
+    sradgen --workload fifo --rows 8 --cols 8 --explore --max-fsm-states 32
+
     # Drop superseded lines from a long-lived campaign cache
     sradgen --compact-cache --cache-dir .sradgen_cache
 """
@@ -41,6 +44,7 @@ from repro.analysis.explorer import explore
 from repro.core.mapping_params import MappingError
 from repro.core.sradgen import generate
 from repro.engine.cache import ResultCache
+from repro.flow import FlowSpec, cli_overrides
 from repro.engine.runner import CampaignRunner, EvalRecord
 from repro.engine.sweep import (
     CAMPAIGNS,
@@ -55,14 +59,23 @@ from repro.workloads.sequences import AddressSequence
 __all__ = ["main", "build_parser"]
 
 
-def _opt_level(text: str) -> int:
-    try:
-        value = int(text)
-    except ValueError:
-        raise argparse.ArgumentTypeError(f"not an integer: {text!r}") from None
-    if value < 0:
-        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
-    return value
+def _bounded_int(minimum: int):
+    """Argparse type factory: an integer no smaller than ``minimum``."""
+
+    def convert(text: str) -> int:
+        try:
+            value = int(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(f"not an integer: {text!r}") from None
+        if value < minimum:
+            raise argparse.ArgumentTypeError(f"must be >= {minimum}, got {value}")
+        return value
+
+    return convert
+
+
+_opt_level = _bounded_int(0)
+_fsm_states = _bounded_int(1)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -132,6 +145,17 @@ def build_parser() -> argparse.ArgumentParser:
             "1 = constant folding, sharing, chain collapsing and dead-cell "
             "removal; default 0).  With --campaign, overrides every job's "
             "opt level."
+        ),
+    )
+    parser.add_argument(
+        "--max-fsm-states",
+        type=_fsm_states,
+        default=None,
+        metavar="N",
+        help=(
+            "skip symbolic-FSM candidates for sequences longer than N "
+            "states (default 512).  Applies to --explore and, with "
+            "--campaign, overrides every job's bound."
         ),
     )
     engine = parser.add_argument_group("campaign options")
@@ -235,17 +259,20 @@ def _compact_cache(args: argparse.Namespace, parser: argparse.ArgumentParser) ->
 
 def _run_campaign(args: argparse.Namespace) -> int:
     campaign = build_campaign(args.campaign)
-    if args.opt_level is not None:
-        # An explicit --opt-level re-levels the whole grid (jobs are frozen
-        # dataclasses, so each override is a fresh job with a fresh key).
+    overrides = cli_overrides(args)
+    if overrides:
+        # Explicit flow flags (--opt-level, --max-fsm-states, ...) re-configure
+        # the whole grid (jobs are frozen dataclasses, so each override is a
+        # fresh job with a fresh key).
         campaign = dataclasses.replace(
             campaign,
             jobs=[
-                dataclasses.replace(job, opt_level=args.opt_level)
+                dataclasses.replace(job, spec=job.spec.with_overrides(**overrides))
                 for job in campaign.jobs
             ],
         )
-        print(f"overriding opt level: every job runs at O{args.opt_level}")
+        settings = ", ".join(f"{k}={v}" for k, v in sorted(overrides.items()))
+        print(f"overriding flow settings: every job runs with {settings}")
     cache = ResultCache(args.cache_dir)
     workers = 0 if args.serial else args.workers
 
@@ -298,13 +325,15 @@ def _dispatch(argv: Optional[Sequence[str]]) -> int:
     if args.rows is None or args.cols is None:
         parser.error("--rows and --cols are required with --input/--workload")
     sequence = _load_sequence(args)
-    opt_level = args.opt_level if args.opt_level is not None else 0
+    # The CLI builds exactly one FlowSpec and hands it down; every flow flag
+    # is one namespace attribute named after its spec field.
+    spec = FlowSpec.from_cli_args(args)
 
     if args.explore:
         if not args.workload:
             parser.error("--explore requires --workload (it needs the loop nest)")
         pattern = build_pattern(args.workload, args.rows, args.cols)
-        print(explore(pattern, opt_level=opt_level).describe())
+        print(explore(pattern, spec=spec).describe())
         return 0
 
     try:
@@ -313,7 +342,7 @@ def _dispatch(argv: Optional[Sequence[str]]) -> int:
             emit_vhdl_text=bool(args.vhdl) or not args.verilog,
             emit_verilog_text=bool(args.verilog),
             synthesize=args.report,
-            opt_level=opt_level,
+            spec=spec,
             verify=not args.no_verify,
         )
     except MappingError as error:

@@ -15,8 +15,8 @@ from typing import Optional
 
 from repro.core.addm_generator import SragAddressGenerator
 from repro.core.mapping_params import SragMapping
+from repro.flow import FlowSpec, resolve_spec
 from repro.hdl.emit import emit_verilog, emit_vhdl
-from repro.synth.cell_library import CellLibrary, STD018
 from repro.synth.flow import run_synthesis_flow
 from repro.synth.report import SynthesisResult
 from repro.workloads.sequences import AddressSequence
@@ -73,8 +73,9 @@ def generate(
     emit_vhdl_text: bool = True,
     emit_verilog_text: bool = False,
     synthesize: bool = False,
-    library: CellLibrary = STD018,
-    opt_level: int = 0,
+    spec: Optional[FlowSpec] = None,
+    library=None,
+    opt_level: Optional[int] = None,
     verify: bool = True,
     name: Optional[str] = None,
 ) -> SRAdGenResult:
@@ -89,9 +90,12 @@ def generate(
     synthesize:
         Also run the synthesis flow (optimization + buffering + timing +
         area).
-    opt_level:
-        Logic-optimization effort for the synthesis flow (0 = report on the
-        raw netlist, 1 = run the :mod:`repro.synth.opt` pipeline first).
+    spec:
+        Flow configuration (:class:`repro.flow.FlowSpec`) for the synthesis
+        step: cell library, buffering threshold, logic-optimization effort.
+        Defaults to an all-defaults spec.
+    library, opt_level:
+        Deprecated loose-keyword forms of the corresponding spec fields.
     verify:
         Check, by gate-level simulation, that the elaborated netlist actually
         regenerates the input sequence before emitting anything.
@@ -106,6 +110,9 @@ def generate(
         If verification fails (which would indicate a library bug rather
         than an unmappable sequence).
     """
+    spec = resolve_spec(
+        spec, caller="generate", library=library, opt_level=opt_level
+    )
     generator = SragAddressGenerator.from_sequence(sequence, name=name)
     if verify and not generator.verify(structural=True):
         raise RuntimeError(
@@ -117,8 +124,7 @@ def generate(
     if synthesize:
         synthesis = run_synthesis_flow(
             generator.netlist,
-            library=library,
-            opt_level=opt_level,
+            spec=spec,
             name=generator.netlist.name,
             metadata={
                 "workload": sequence.name,

@@ -21,13 +21,14 @@ import json
 from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
+from repro.flow import DEFAULT_SPEC, FSM_ENCODINGS, FlowSpec, resolve_spec
 from repro.generators.arithmetic import ArithmeticAddressGenerator
 from repro.generators.base import AddressGeneratorDesign
 from repro.generators.counter_based import CounterBasedAddressGenerator
 from repro.generators.fsm_based import FsmAddressGenerator
 from repro.generators.sfm_pointer import SfmPointerGenerator
 from repro.generators.srag_design import SragDesign
-from repro.synth.cell_library import get_library, library_fingerprint
+from repro.synth.cell_library import library_fingerprint
 from repro.workloads.loopnest import AffineAccessPattern
 from repro.workloads.registry import build_pattern
 
@@ -39,9 +40,6 @@ __all__ = [
     "build_design",
     "candidate_factories",
 ]
-
-#: Default symbolic-FSM state encodings explored per workload.
-FSM_ENCODINGS: Tuple[str, ...] = ("binary", "gray", "onehot")
 
 #: Every (style, variant) pair the library can build.  ``FSM`` variants are
 #: the state encodings.
@@ -124,16 +122,22 @@ def build_design(
 class EvalJob:
     """One design-space point: evaluate one architecture for one workload.
 
+    The identity of the point is ``(workload, rows, cols, style, variant)``;
+    every evaluation knob lives in ``spec`` (:class:`repro.flow.FlowSpec`).
     All fields are plain data so the job survives pickling into worker
     processes and JSON round-trips through the result cache.
 
-    ``power_cycles > 0`` additionally runs the switching-activity power
+    ``spec.power_cycles > 0`` additionally runs the switching-activity power
     study (on the compiled simulator) over that many cycles; the resulting
     record then carries ``energy_per_access_fj`` / ``avg_power_uw``.
-
-    ``opt_level > 0`` runs the logic-optimization pipeline
+    ``spec.opt_level > 0`` runs the logic-optimization pipeline
     (:mod:`repro.synth.opt`) before buffering and timing, so area/delay
     figures describe the netlist a real synthesis tool would report on.
+
+    The pre-``FlowSpec`` loose keywords (``library=``, ``max_fanout=``,
+    ``max_fsm_states=``, ``power_cycles=``, ``opt_level=``) keep working
+    under a :class:`DeprecationWarning`; the matching read-only attributes
+    remain available as undeprecated conveniences.
     """
 
     workload: str
@@ -141,14 +145,81 @@ class EvalJob:
     cols: int
     style: str
     variant: str
-    library: str = "std018"
-    max_fanout: int = 8
-    max_fsm_states: int = 512
-    power_cycles: int = 0
-    opt_level: int = 0
+    spec: FlowSpec = DEFAULT_SPEC
 
-    def spec(self) -> dict:
-        """Canonical dictionary form of the job (what gets hashed)."""
+    def __init__(
+        self,
+        workload: str,
+        rows: int,
+        cols: int,
+        style: str,
+        variant: str,
+        spec: Optional[FlowSpec] = None,
+        *,
+        library: Optional[str] = None,
+        max_fanout: Optional[int] = None,
+        max_fsm_states: Optional[int] = None,
+        power_cycles: Optional[int] = None,
+        opt_level: Optional[int] = None,
+    ):
+        if spec is not None and not isinstance(spec, FlowSpec):
+            # The pre-FlowSpec dataclass had ``library`` as its sixth
+            # positional field; a name (or CellLibrary) landing in the spec
+            # slot is that legacy form, routed through the same shim.
+            if library is not None:
+                raise TypeError(
+                    "EvalJob() got the library both positionally and by keyword"
+                )
+            library, spec = spec, None
+        object.__setattr__(self, "workload", workload)
+        object.__setattr__(self, "rows", rows)
+        object.__setattr__(self, "cols", cols)
+        object.__setattr__(self, "style", style)
+        object.__setattr__(self, "variant", variant)
+        object.__setattr__(
+            self,
+            "spec",
+            resolve_spec(
+                spec,
+                caller="EvalJob",
+                library=library,
+                max_fanout=max_fanout,
+                max_fsm_states=max_fsm_states,
+                power_cycles=power_cycles,
+                opt_level=opt_level,
+            ),
+        )
+
+    # Convenience views onto the spec (reading these is not deprecated --
+    # only constructing jobs from loose keywords is).
+    @property
+    def library(self) -> str:
+        return self.spec.library
+
+    @property
+    def max_fanout(self) -> int:
+        return self.spec.max_fanout
+
+    @property
+    def max_fsm_states(self) -> int:
+        return self.spec.max_fsm_states
+
+    @property
+    def power_cycles(self) -> int:
+        return self.spec.power_cycles
+
+    @property
+    def opt_level(self) -> int:
+        return self.spec.opt_level
+
+    def to_spec(self) -> dict:
+        """Canonical dictionary form of the job (what gets hashed).
+
+        The knob fields come from :meth:`FlowSpec.to_spec`, whose
+        omit-at-default contract keeps every pre-``FlowSpec`` key stable;
+        the job adds its identity fields and a fingerprint of the cell
+        library's characterisation.
+        """
         spec = {
             "version": SPEC_VERSION,
             "workload": self.workload,
@@ -156,19 +227,9 @@ class EvalJob:
             "cols": self.cols,
             "style": self.style,
             "variant": self.variant,
-            "library": self.library,
-            "library_fingerprint": library_fingerprint(get_library(self.library)),
-            "max_fanout": self.max_fanout,
-            "max_fsm_states": self.max_fsm_states,
+            "library_fingerprint": library_fingerprint(self.spec.resolve_library()),
         }
-        # Only present when the power study is enabled, so every pre-power
-        # job keeps its original key and cached results stay valid.
-        if self.power_cycles:
-            spec["power_cycles"] = self.power_cycles
-        # Same contract for optimization: the default level hashes exactly
-        # like a job from before opt_level existed.
-        if self.opt_level:
-            spec["opt_level"] = self.opt_level
+        spec.update(self.spec.to_spec(job_key=True))
         return spec
 
     @property
@@ -179,16 +240,15 @@ class EvalJob:
         library's characterisation, so recalibrating a library (or bumping
         ``SPEC_VERSION``) invalidates stale cache entries.
         """
-        payload = json.dumps(self.spec(), sort_keys=True, separators=(",", ":"))
+        payload = json.dumps(self.to_spec(), sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
     @property
     def label(self) -> str:
         """Compact display label, e.g. ``fifo 8x8 SRAG[two-hot] @std018 O1``."""
-        suffix = f" O{self.opt_level}" if self.opt_level else ""
         return (
             f"{self.workload} {self.rows}x{self.cols} "
-            f"{self.style}[{self.variant}] @{self.library}{suffix}"
+            f"{self.style}[{self.variant}] @{self.library}{self.spec.label_suffix}"
         )
 
     def pattern(self) -> AffineAccessPattern:
@@ -228,11 +288,12 @@ class Campaign:
         workloads: Sequence[str],
         geometries: Sequence[Tuple[int, int]],
         styles: Optional[Sequence[Tuple[str, str]]] = None,
-        libraries: Sequence[str] = ("std018",),
-        max_fanout: int = 8,
-        max_fsm_states: int = 512,
-        power_cycles: int = 0,
-        opt_level: int = 0,
+        libraries: Optional[Sequence[str]] = None,
+        spec: Optional[FlowSpec] = None,
+        max_fanout: Optional[int] = None,
+        max_fsm_states: Optional[int] = None,
+        power_cycles: Optional[int] = None,
+        opt_level: Optional[int] = None,
         description: str = "",
     ) -> "Campaign":
         """Expand a full cross-product grid into a campaign.
@@ -240,12 +301,28 @@ class Campaign:
         ``styles`` defaults to every architecture the library knows
         (:data:`STYLE_VARIANTS`); architectures that turn out to be
         inapplicable to a particular workload are recorded as skipped at
-        evaluation time rather than excluded up front.  A non-zero
-        ``power_cycles`` additionally runs the switching-activity power
-        study over that many simulated cycles at every grid point; a
-        non-zero ``opt_level`` runs logic optimization at every grid point.
+        evaluation time rather than excluded up front.  ``libraries`` is a
+        grid *axis* (one job per library per point); it defaults to the
+        single ``spec.library``.
+
+        Every other knob comes from ``spec`` (:class:`repro.flow.FlowSpec`),
+        shared by every job in the grid: a non-zero ``spec.power_cycles``
+        additionally runs the switching-activity power study over that many
+        simulated cycles at every grid point; a non-zero ``spec.opt_level``
+        runs logic optimization at every grid point.  The old loose
+        keywords (``max_fanout=`` etc.) keep working under a
+        :class:`DeprecationWarning`.
         """
+        base = resolve_spec(
+            spec,
+            caller="Campaign.from_grid",
+            max_fanout=max_fanout,
+            max_fsm_states=max_fsm_states,
+            power_cycles=power_cycles,
+            opt_level=opt_level,
+        )
         chosen = tuple(styles) if styles is not None else STYLE_VARIANTS
+        library_axis = tuple(libraries) if libraries is not None else (base.library,)
         jobs = [
             EvalJob(
                 workload=workload,
@@ -253,15 +330,11 @@ class Campaign:
                 cols=cols,
                 style=style,
                 variant=variant,
-                library=library,
-                max_fanout=max_fanout,
-                max_fsm_states=max_fsm_states,
-                power_cycles=power_cycles,
-                opt_level=opt_level,
+                spec=base.with_overrides(library=library),
             )
             for workload in workloads
             for rows, cols in geometries
-            for library in libraries
+            for library in library_axis
             for style, variant in chosen
         ]
         return cls(name=name, jobs=jobs, description=description)

@@ -28,8 +28,8 @@ from repro.core.mapping_params import MappingError
 from repro.engine.cache import ResultCache
 from repro.engine.jobs import Campaign, EvalJob, build_design
 from repro.engine.pareto import pareto_min
+from repro.flow import opt_label_suffix
 from repro.hdl.netlist import NetlistError
-from repro.synth.cell_library import get_library
 from repro.synth.power import estimate_power
 
 __all__ = ["CampaignResult", "CampaignRunner", "EvalRecord", "evaluate_job"]
@@ -87,10 +87,9 @@ class EvalRecord:
     @property
     def label(self) -> str:
         """Compact display label, e.g. ``fifo 8x8 SRAG[two-hot] O1``."""
-        suffix = f" O{self.opt_level}" if self.opt_level else ""
         return (
             f"{self.workload} {self.rows}x{self.cols} "
-            f"{self.style}[{self.variant}]{suffix}"
+            f"{self.style}[{self.variant}]{opt_label_suffix(self.opt_level)}"
         )
 
     def to_dict(self) -> dict:
@@ -126,40 +125,38 @@ def evaluate_job(job: EvalJob) -> EvalRecord:
     cannot take down a campaign (or a worker process).
     """
     start = time.perf_counter()
+    spec = job.spec
     base = dict(
         workload=job.workload,
         rows=job.rows,
         cols=job.cols,
         style=job.style,
         variant=job.variant,
-        library=job.library,
+        library=spec.library,
         key=job.key,
         # Part of the base so skipped/error records keep the grid axis too.
-        opt_level=job.opt_level,
+        opt_level=spec.opt_level,
     )
     try:
         pattern = job.pattern()
-        if job.style == "FSM" and pattern.trip_count > job.max_fsm_states:
+        if job.style == "FSM" and pattern.trip_count > spec.max_fsm_states:
             return EvalRecord(
                 status=SKIPPED,
                 note=(
                     f"sequence length {pattern.trip_count} exceeds "
-                    f"max_fsm_states={job.max_fsm_states}"
+                    f"max_fsm_states={spec.max_fsm_states}"
                 ),
                 duration_s=time.perf_counter() - start,
                 **base,
             )
         design = build_design(pattern, job.style, job.variant)
-        library = get_library(job.library)
-        result = design.synthesize(
-            library, max_fanout=job.max_fanout, opt_level=job.opt_level
-        )
+        result = design.synthesize(spec=spec)
         power: Dict[str, float] = {}
-        if job.power_cycles:
+        if spec.power_cycles:
             # Measure on the buffered working copy the area/delay figures
             # came from, so inserted buffer trees pay their switching energy.
             report = estimate_power(
-                result.netlist, library=library, cycles=job.power_cycles
+                result.netlist, library=spec.resolve_library(), cycles=spec.power_cycles
             )
             power = {
                 "energy_per_access_fj": report.energy_per_access_fj,
@@ -252,8 +249,7 @@ class CampaignResult:
             lines.append(f"  {workload} {rows}x{cols} @{library}:")
             for record in sorted(front, key=lambda r: r.delay_ns):
                 style = f"{record.style}[{record.variant}]"
-                if record.opt_level:
-                    style += f" O{record.opt_level}"
+                style += opt_label_suffix(record.opt_level)
                 power = (
                     f"   e/access {record.energy_per_access_fj:8.1f} fJ"
                     if record.has_power

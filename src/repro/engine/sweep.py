@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List
 
 from repro.engine.jobs import Campaign
+from repro.flow import FlowSpec
 
 __all__ = [
     "CAMPAIGNS",
@@ -201,7 +202,7 @@ def power_campaign() -> Campaign:
             ("CntAG", "decoders"),
             ("FSM", "binary"),
         ),
-        power_cycles=256,
+        spec=FlowSpec(power_cycles=256),
     )
 
 
@@ -243,10 +244,6 @@ def opt_levels_campaign() -> Campaign:
             ("FSM", "binary"),
         ),
     )
-    baseline = Campaign.from_grid(
-        "opt_levels",
-        opt_level=0,
-        **grid,
-    )
-    optimized = Campaign.from_grid("opt_levels", opt_level=1, **grid)
+    baseline = Campaign.from_grid("opt_levels", spec=FlowSpec(opt_level=0), **grid)
+    optimized = Campaign.from_grid("opt_levels", spec=FlowSpec(opt_level=1), **grid)
     return baseline.extended(optimized.jobs)

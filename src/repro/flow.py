@@ -1,0 +1,290 @@
+"""``FlowSpec`` -- one canonical configuration object for the whole stack.
+
+Every evaluation knob the synthesis/evaluation stack understands lives in
+exactly one place: a frozen, validated, serialisable :class:`FlowSpec`.  The
+public entry points -- :func:`repro.synth.flow.run_synthesis_flow`,
+:meth:`repro.generators.base.AddressGeneratorDesign.synthesize`,
+:func:`repro.core.sradgen.generate`, :func:`repro.analysis.explorer.explore`,
+:class:`repro.engine.jobs.EvalJob` and
+:meth:`repro.engine.jobs.Campaign.from_grid` -- all accept ``spec=FlowSpec(...)``
+and hand the same object down, so adding a future knob (a synthesis effort
+tier, a buffering strategy, a power-engine selector) is one field here
+instead of a six-file threading exercise.
+
+Serialisation is canonical and *default-omitting*: fields that post-date the
+seed (``opt_level``, ``power_cycles``, ...) stay out of :meth:`FlowSpec.to_spec`
+at their default values, so every cache key and JSONL record minted before
+the field existed survives byte-for-byte.  Fields that have been hashed
+since the seed (``library``, ``max_fanout``, ``max_fsm_states``) are always
+present, for the same reason.
+
+The loose keyword arguments the entry points used to take keep working
+through :func:`resolve_spec` -- one shared compatibility shim that assembles
+a spec from legacy keywords and emits a single :class:`DeprecationWarning`
+per call.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+__all__ = [
+    "DEFAULT_SPEC",
+    "FSM_ENCODINGS",
+    "FlowSpec",
+    "cli_overrides",
+    "opt_label_suffix",
+    "resolve_spec",
+]
+
+#: Default symbolic-FSM state encodings explored per workload.  (Canonical
+#: home of the constant; :mod:`repro.engine.jobs` re-exports it.)
+FSM_ENCODINGS: Tuple[str, ...] = ("binary", "gray", "onehot")
+
+
+def opt_label_suffix(opt_level: int) -> str:
+    """Display suffix for an optimization level: ``" O1"``, or ``""`` at O0.
+
+    Shared by :attr:`FlowSpec.label_suffix`, ``EvalJob.label`` and
+    ``EvalRecord.label`` so every report styles the opt axis identically.
+    """
+    return f" O{opt_level}" if opt_level else ""
+
+
+def _always(default: Any) -> Any:
+    """A spec field that is serialised unconditionally (hashed since the seed)."""
+    return field(default=default)
+
+
+def _since_seed(default: Any, **extra_metadata: Any) -> Any:
+    """A spec field added after the seed: omitted from the canonical dict at
+    its default, so pre-existing cache keys and records are byte-identical."""
+    return field(default=default, metadata={"omit_default": True, **extra_metadata})
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """Single source of truth for every synthesis/evaluation knob.
+
+    Attributes
+    ----------
+    library:
+        Cell-library name (``repro.synth.cell_library.LIBRARIES``).  A
+        :class:`~repro.synth.cell_library.CellLibrary` instance is also
+        accepted and normalised to its registered name (unregistered
+        libraries are registered under a fingerprint-qualified name so the
+        spec stays serialisable).
+    max_fanout:
+        Maximum fanout before the flow inserts a buffer tree (>= 2).
+    opt_level:
+        Logic-optimization effort (0 = raw netlist, 1 = full
+        :mod:`repro.synth.opt` pipeline).
+    power_cycles:
+        Simulated cycles for the switching-activity power study; 0 disables
+        it.  Consumed by the campaign runner, ignored by plain synthesis.
+    fsm_encodings:
+        Symbolic-FSM state encodings enumerated per workload.  An
+        *enumeration* knob: it widens or narrows the candidate list but does
+        not change any single evaluation, so it never enters job cache keys.
+    max_fsm_states:
+        Symbolic-FSM candidates are skipped for sequences longer than this.
+
+    Adding a future axis is one field here: give it a default, declare it
+    with :func:`_since_seed`, and every entry point, cache key, CLI override
+    and grid builder picks it up.
+    """
+
+    library: str = _always("std018")
+    max_fanout: int = _always(8)
+    opt_level: int = _since_seed(0)
+    power_cycles: int = _since_seed(0)
+    fsm_encodings: Tuple[str, ...] = _since_seed(FSM_ENCODINGS, job_key=False)
+    max_fsm_states: int = _always(512)
+
+    # ---------------------------------------------------------- validation
+    def __post_init__(self) -> None:
+        from repro.synth.cell_library import CellLibrary, get_library
+
+        if isinstance(self.library, CellLibrary):
+            object.__setattr__(self, "library", _registered_name(self.library))
+        elif isinstance(self.library, str):
+            get_library(self.library)  # raises KeyError listing known names
+        else:
+            raise TypeError(
+                f"library must be a name or a CellLibrary, got {self.library!r}"
+            )
+        if not isinstance(self.fsm_encodings, tuple):
+            object.__setattr__(self, "fsm_encodings", tuple(self.fsm_encodings))
+        for encoding in self.fsm_encodings:
+            if encoding not in FSM_ENCODINGS:
+                raise ValueError(
+                    f"unknown FSM encoding {encoding!r}; "
+                    f"available: {', '.join(FSM_ENCODINGS)}"
+                )
+        self._check_int("max_fanout", minimum=2)
+        self._check_int("opt_level", minimum=0)
+        self._check_int("power_cycles", minimum=0)
+        self._check_int("max_fsm_states", minimum=1)
+
+    def _check_int(self, name: str, *, minimum: int) -> None:
+        value = getattr(self, name)
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise TypeError(f"{name} must be an int, got {value!r}")
+        if value < minimum:
+            raise ValueError(f"{name} must be >= {minimum}, got {value}")
+
+    # ------------------------------------------------------- serialisation
+    def to_spec(self, *, job_key: bool = False) -> Dict[str, Any]:
+        """Canonical dictionary form of the spec.
+
+        Fields marked ``omit_default`` are dropped at their default value --
+        the contract that keeps every pre-``FlowSpec`` cache key and record
+        byte-identical.  With ``job_key=True``, enumeration-only fields
+        (``job_key: False`` metadata) are dropped too: they select *which*
+        jobs exist, not how one evaluates, so they must not perturb cache
+        keys.
+        """
+        spec: Dict[str, Any] = {}
+        for spec_field in fields(self):
+            if job_key and not spec_field.metadata.get("job_key", True):
+                continue
+            value = getattr(self, spec_field.name)
+            if spec_field.metadata.get("omit_default") and value == spec_field.default:
+                continue
+            spec[spec_field.name] = list(value) if isinstance(value, tuple) else value
+        return spec
+
+    @classmethod
+    def from_spec(cls, spec: Mapping[str, Any]) -> "FlowSpec":
+        """Rebuild a spec from :meth:`to_spec` output (exact round-trip).
+
+        Missing fields take their defaults (how old serialised specs gain
+        new fields); unknown fields raise ``ValueError`` rather than being
+        silently dropped.
+        """
+        known = {spec_field.name for spec_field in fields(cls)}
+        unknown = sorted(set(spec) - known)
+        if unknown:
+            raise ValueError(f"unknown FlowSpec field(s): {', '.join(unknown)}")
+        return cls(**dict(spec))
+
+    # ----------------------------------------------------------- derivation
+    def with_overrides(self, **overrides: Any) -> "FlowSpec":
+        """A copy with the given fields replaced.
+
+        ``None`` means "keep the current value" (no field may legitimately
+        be ``None``), which lets optional CLI flags and legacy keywords be
+        forwarded wholesale.  Unknown field names raise ``TypeError``.
+        """
+        supplied = {name: value for name, value in overrides.items() if value is not None}
+        if not supplied:
+            return self
+        return replace(self, **supplied)
+
+    @classmethod
+    def from_cli_args(cls, namespace: Any) -> "FlowSpec":
+        """The one spec a CLI invocation describes.
+
+        Reads every attribute of ``namespace`` named after a spec field
+        (``None`` or absent = flag not given, keep the default), so a new
+        flag is wired in by giving it ``dest=<field name>``.
+        """
+        return cls().with_overrides(**cli_overrides(namespace))
+
+    # ------------------------------------------------------------- pickling
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        if "#" in self.library:
+            # Fingerprint-qualified corners exist only in this process's
+            # registry; ship the characterisation itself so worker processes
+            # (spawn-start platforms build a fresh registry) can re-register
+            # it on arrival.
+            state["_ephemeral_library"] = self.resolve_library()
+        return state
+
+    def __setstate__(self, state):
+        library = state.pop("_ephemeral_library", None)
+        if library is not None:
+            from repro.synth.cell_library import LIBRARIES
+
+            LIBRARIES.setdefault(state["library"], library)
+        self.__dict__.update(state)
+
+    # ---------------------------------------------------------- conveniences
+    def resolve_library(self):
+        """The :class:`~repro.synth.cell_library.CellLibrary` this spec names."""
+        from repro.synth.cell_library import get_library
+
+        return get_library(self.library)
+
+    @property
+    def label_suffix(self) -> str:
+        """Suffix distinguishing non-default flows in display labels."""
+        return opt_label_suffix(self.opt_level)
+
+
+def _registered_name(library: Any) -> str:
+    """Name under which ``library`` can be looked up again.
+
+    Registered libraries map to their own name.  An unregistered
+    characterisation (a scaled corner built on the fly, say) is registered
+    under ``"<name>#<fingerprint>"`` so specs referencing it stay
+    serialisable and cannot collide with a different characterisation of the
+    same name.
+    """
+    from repro.synth.cell_library import LIBRARIES, library_fingerprint
+
+    registered = LIBRARIES.get(library.name)
+    if registered is not None and (
+        registered is library
+        or library_fingerprint(registered) == library_fingerprint(library)
+    ):
+        return library.name
+    qualified = f"{library.name}#{library_fingerprint(library)[:8]}"
+    LIBRARIES.setdefault(qualified, library)
+    return qualified
+
+
+def cli_overrides(namespace: Any) -> Dict[str, Any]:
+    """Spec fields explicitly set on an argparse namespace (``None`` = unset)."""
+    overrides: Dict[str, Any] = {}
+    for spec_field in fields(FlowSpec):
+        value = getattr(namespace, spec_field.name, None)
+        if value is not None:
+            overrides[spec_field.name] = value
+    return overrides
+
+
+def resolve_spec(
+    spec: Optional[FlowSpec],
+    *,
+    caller: str,
+    **legacy: Any,
+) -> FlowSpec:
+    """The shared deprecation shim behind every redesigned entry point.
+
+    ``legacy`` holds the caller's old loose keywords with ``None`` meaning
+    "not passed".  Any that were passed are folded into the spec (on top of
+    ``spec`` when both are given, which keeps ``dataclasses.replace``-style
+    call sites working) under a single :class:`DeprecationWarning` per call,
+    attributed to the user's call site.
+    """
+    if spec is not None and not isinstance(spec, FlowSpec):
+        raise TypeError(f"{caller}: spec must be a FlowSpec, got {spec!r}")
+    supplied = {name: value for name, value in legacy.items() if value is not None}
+    if supplied:
+        warnings.warn(
+            f"{caller}: the {', '.join(sorted(supplied))} argument(s) are "
+            "deprecated; pass spec=repro.flow.FlowSpec(...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    base = spec if spec is not None else DEFAULT_SPEC
+    return base.with_overrides(**supplied)
+
+
+#: The all-defaults spec (module-level so un-configured call paths share one
+#: instance instead of re-validating a fresh ``FlowSpec()`` each call).
+DEFAULT_SPEC = FlowSpec()

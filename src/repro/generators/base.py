@@ -12,8 +12,8 @@ from __future__ import annotations
 import abc
 from typing import Dict, List, Optional
 
+from repro.flow import FlowSpec, resolve_spec
 from repro.hdl.netlist import Netlist
-from repro.synth.cell_library import CellLibrary, STD018
 from repro.synth.flow import run_synthesis_flow
 from repro.synth.report import SynthesisResult
 from repro.workloads.sequences import AddressSequence
@@ -70,18 +70,53 @@ class AddressGeneratorDesign(abc.ABC):
 
     def synthesize(
         self,
-        library: CellLibrary = STD018,
-        *,
-        max_fanout: int = 8,
-        opt_level: int = 0,
+        *args,
+        spec: Optional[FlowSpec] = None,
+        library=None,
+        max_fanout: Optional[int] = None,
+        opt_level: Optional[int] = None,
         metadata: Optional[Dict[str, object]] = None,
     ) -> SynthesisResult:
         """Run the synthesis flow on the design's netlist.
 
-        The flow optimizes and buffers a private clone of the netlist, so
-        repeated synthesis runs (under different libraries or opt levels,
-        say) all start from the same raw design.
+        The flow is configured by ``spec`` (:class:`repro.flow.FlowSpec`;
+        defaults to an all-defaults spec).  It optimizes and buffers a
+        private clone of the netlist, so repeated synthesis runs (under
+        different specs, say) all start from the same raw design.
+
+        ``library`` is keyword-only; the historical positional form -- and
+        the loose ``library``/``max_fanout``/``opt_level`` keywords -- keep
+        working under a :class:`DeprecationWarning`.
         """
+        if args:
+            if len(args) > 1:
+                raise TypeError(
+                    f"synthesize() takes at most 1 positional argument "
+                    f"({len(args)} given)"
+                )
+            if isinstance(args[0], FlowSpec):
+                if spec is not None:
+                    raise TypeError(
+                        "synthesize() got the spec both positionally and by keyword"
+                    )
+                spec = args[0]
+            else:
+                # The pre-FlowSpec signature took the library positionally;
+                # fold it into the shim so the call warns once like any
+                # legacy kwarg.
+                if library is not None:
+                    raise TypeError(
+                        "synthesize() got the library both positionally and "
+                        "by keyword"
+                    )
+                library = args[0]
+        spec = resolve_spec(
+            spec,
+            caller=f"{type(self).__name__}.synthesize",
+            library=library,
+            max_fanout=max_fanout,
+            opt_level=opt_level,
+        )
         netlist = self.netlist
         info: Dict[str, object] = {
             "style": self.style,
@@ -91,11 +126,4 @@ class AddressGeneratorDesign(abc.ABC):
             "accesses": self.sequence.length,
         }
         info.update(metadata or {})
-        return run_synthesis_flow(
-            netlist,
-            library=library,
-            max_fanout=max_fanout,
-            opt_level=opt_level,
-            name=self.name,
-            metadata=info,
-        )
+        return run_synthesis_flow(netlist, spec=spec, name=self.name, metadata=info)

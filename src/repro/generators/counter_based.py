@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.flow import FlowSpec
 from repro.generators.base import AddressGeneratorDesign
 from repro.hdl.components.adder import build_ripple_adder
 from repro.hdl.components.counter import BinaryCounter, build_binary_counter
@@ -278,7 +279,7 @@ class CounterBasedAddressGenerator(AddressGeneratorDesign):
             use_concatenation=self.use_concatenation,
             name=f"{self.name}_counter",
         )
-        return counter_only.synthesize(library)
+        return counter_only.synthesize(spec=FlowSpec(library=library))
 
     def component_reports(
         self, library: CellLibrary = STD018
@@ -347,7 +348,7 @@ def standalone_decoder_report(
     netlist = build_standalone_decoder(address_width, num_outputs)
     return run_synthesis_flow(
         netlist,
-        library=library,
+        spec=FlowSpec(library=library),
         name=netlist.name,
         metadata={"address_width": address_width, "num_outputs": num_outputs},
     )

@@ -2,8 +2,8 @@
 
 ``run_synthesis_flow`` is the stand-in for "synthesise this design with
 Design Compiler and read area/delay off the report": it validates the
-netlist, optionally runs logic optimization (``opt_level``), inserts buffer
-trees on high-fanout nets, and runs static timing analysis and area
+netlist, optionally runs logic optimization (``spec.opt_level``), inserts
+buffer trees on high-fanout nets, and runs static timing analysis and area
 accounting against the chosen standard-cell library.
 """
 
@@ -11,10 +11,10 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.flow import FlowSpec, resolve_spec
 from repro.hdl.netlist import Netlist
 from repro.synth.area import area_report
 from repro.synth.buffering import insert_buffer_trees
-from repro.synth.cell_library import CellLibrary, STD018
 from repro.synth.opt import optimize_netlist
 from repro.synth.report import SynthesisResult
 from repro.synth.timing import timing_report
@@ -25,9 +25,10 @@ __all__ = ["run_synthesis_flow"]
 def run_synthesis_flow(
     netlist: Netlist,
     *,
-    library: CellLibrary = STD018,
-    max_fanout: int = 8,
-    opt_level: int = 0,
+    spec: Optional[FlowSpec] = None,
+    library=None,
+    max_fanout: Optional[int] = None,
+    opt_level: Optional[int] = None,
     name: Optional[str] = None,
     metadata: Optional[Dict[str, object]] = None,
 ) -> SynthesisResult:
@@ -40,31 +41,40 @@ def run_synthesis_flow(
         private clone (the synthesis tool's working copy), so the caller's
         netlist is left untouched and can be re-synthesised -- under another
         library or opt level, say -- without accumulating rewrites.
-    library:
-        Standard-cell characterisation to use.
-    max_fanout:
-        Maximum fanout allowed before a buffer tree is inserted.
-    opt_level:
-        Logic-optimization effort.  0 (the default) reports on the raw
-        generated netlist, exactly as before optimization existed; 1 runs
-        the full :mod:`repro.synth.opt` pipeline before buffering and
-        timing, the way a real synthesis tool always would.
+    spec:
+        The flow configuration (:class:`repro.flow.FlowSpec`); defaults to
+        an all-defaults spec.  ``spec.library`` picks the standard-cell
+        characterisation, ``spec.max_fanout`` the buffering threshold and
+        ``spec.opt_level`` the logic-optimization effort (0 reports on the
+        raw generated netlist, exactly as before optimization existed; 1
+        runs the full :mod:`repro.synth.opt` pipeline before buffering and
+        timing, the way a real synthesis tool always would).
+    library, max_fanout, opt_level:
+        Deprecated loose-keyword forms of the corresponding spec fields.
     name:
         Report name; defaults to the netlist name.
     metadata:
         Extra key/value pairs propagated into the result.
     """
+    spec = resolve_spec(
+        spec,
+        caller="run_synthesis_flow",
+        library=library,
+        max_fanout=max_fanout,
+        opt_level=opt_level,
+    )
+    cell_library = spec.resolve_library()
     netlist.validate()
     working_copy = netlist.clone()
     opt_report = None
-    if opt_level:
-        opt_report = optimize_netlist(working_copy, opt_level=opt_level)
+    if spec.opt_level:
+        opt_report = optimize_netlist(working_copy, opt_level=spec.opt_level)
         # Cheap invariant check: optimization must hand buffering/timing a
         # structurally sound netlist or every figure downstream is garbage.
         working_copy.validate()
-    buffers = insert_buffer_trees(working_copy, max_fanout=max_fanout)
-    timing = timing_report(working_copy, library)
-    area = area_report(working_copy, library)
+    buffers = insert_buffer_trees(working_copy, max_fanout=spec.max_fanout)
+    timing = timing_report(working_copy, cell_library)
+    area = area_report(working_copy, cell_library)
     return SynthesisResult(
         name=name or netlist.name,
         area=area,

@@ -5,6 +5,7 @@ import pytest
 
 from repro.analysis.explorer import DesignPoint, explore, pareto_front
 from repro.analysis.reporting import format_figure, format_series, format_table
+from repro.flow import FlowSpec
 from repro.analysis.tradeoff import (
     GeneratorMetrics,
     TradeoffRecord,
@@ -104,7 +105,8 @@ def test_explore_records_inapplicable_architectures():
 
 def test_explore_skips_fsm_for_long_sequences():
     result = explore(
-        motion_estimation.new_img_read_pattern(8, 8, 2, 2), max_fsm_states=16
+        motion_estimation.new_img_read_pattern(8, 8, 2, 2),
+        spec=FlowSpec(max_fsm_states=16),
     )
     assert all(point.style != "FSM" for point in result.points)
 
@@ -122,7 +124,7 @@ def test_explore_records_failures_raised_during_evaluation(monkeypatch):
     class ExplodingDesign:
         style = "BOOM"
 
-        def synthesize(self, library, **kwargs):
+        def synthesize(self, **kwargs):
             raise NetlistError("elaboration exploded late")
 
     pattern = fifo.fifo_pattern(4, 4)
@@ -144,7 +146,7 @@ def test_explore_records_failures_raised_during_evaluation(monkeypatch):
 
 def test_explore_passes_opt_level_through_to_synthesis():
     raw = explore(fifo.fifo_pattern(8, 8))
-    opt = explore(fifo.fifo_pattern(8, 8), opt_level=1)
+    opt = explore(fifo.fifo_pattern(8, 8), spec=FlowSpec(opt_level=1))
     area = {(p.style, p.variant): p.area_cells for p in raw.points}
     area_opt = {(p.style, p.variant): p.area_cells for p in opt.points}
     assert area_opt[("CntAG", "decoders")] < area[("CntAG", "decoders")]

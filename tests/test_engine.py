@@ -10,6 +10,7 @@ from repro.engine.cache import ResultCache
 from repro.engine.jobs import Campaign, EvalJob, STYLE_VARIANTS, build_design
 from repro.engine.pareto import pareto_indices, pareto_min
 from repro.engine.runner import CampaignRunner, EvalRecord, evaluate_job
+from repro.flow import FlowSpec
 from repro.engine.sweep import (
     available_campaigns,
     build_campaign,
@@ -36,8 +37,8 @@ def test_job_key_distinguishes_every_axis():
         EvalJob("fifo", 8, 4, "SRAG", "two-hot"),
         EvalJob("fifo", 4, 8, "SRAG", "two-hot"),
         EvalJob("fifo", 4, 4, "CntAG", "decoders"),
-        EvalJob("fifo", 4, 4, "SRAG", "two-hot", library="std018_lp"),
-        EvalJob("fifo", 4, 4, "SRAG", "two-hot", max_fanout=4),
+        EvalJob("fifo", 4, 4, "SRAG", "two-hot", FlowSpec(library="std018_lp")),
+        EvalJob("fifo", 4, 4, "SRAG", "two-hot", FlowSpec(max_fanout=4)),
     ]
     keys = {base.key} | {job.key for job in variants}
     assert len(keys) == len(variants) + 1
@@ -80,7 +81,7 @@ def test_evaluate_job_ok_and_skipped():
 
 
 def test_evaluate_job_respects_max_fsm_states():
-    record = evaluate_job(EvalJob("fifo", 4, 4, "FSM", "binary", max_fsm_states=4))
+    record = evaluate_job(EvalJob("fifo", 4, 4, "FSM", "binary", FlowSpec(max_fsm_states=4)))
     assert record.status == "skipped"
     assert "max_fsm_states" in record.note
 
@@ -276,7 +277,7 @@ def test_campaign_result_groups_and_describe(tmp_path):
 
 def test_power_jobs_record_power_metrics():
     record = evaluate_job(
-        EvalJob("fifo", 4, 4, "CntAG", "decoders", power_cycles=64)
+        EvalJob("fifo", 4, 4, "CntAG", "decoders", FlowSpec(power_cycles=64))
     )
     assert record.status == "ok"
     assert record.energy_per_access_fj > 0
@@ -293,13 +294,13 @@ def test_power_is_measured_on_the_buffered_netlist():
     from repro.synth.power import estimate_power
     from repro.workloads.registry import build_pattern
 
-    job = EvalJob("motion_est_read", 16, 16, "SRAG", "two-hot", power_cycles=32)
+    job = EvalJob("motion_est_read", 16, 16, "SRAG", "two-hot", FlowSpec(power_cycles=32))
     record = evaluate_job(job)
     assert record.status == "ok" and record.buffers_inserted > 0
 
     design = build_design(build_pattern(job.workload, job.rows, job.cols),
                           job.style, job.variant)
-    synth = design.synthesize(max_fanout=job.max_fanout)
+    synth = design.synthesize(spec=job.spec)
     buffered = estimate_power(synth.netlist, cycles=32)
     unbuffered = estimate_power(design.netlist, cycles=32)
     assert record.energy_per_access_fj == buffered.energy_per_access_fj
@@ -309,11 +310,11 @@ def test_power_is_measured_on_the_buffered_netlist():
 def test_power_cycles_only_changes_key_when_enabled():
     """Old cache entries for non-power jobs must keep matching."""
     base = EvalJob("fifo", 4, 4, "SRAG", "two-hot")
-    assert EvalJob("fifo", 4, 4, "SRAG", "two-hot", power_cycles=0).key == base.key
-    assert "power_cycles" not in base.spec()
-    powered = EvalJob("fifo", 4, 4, "SRAG", "two-hot", power_cycles=256)
+    assert EvalJob("fifo", 4, 4, "SRAG", "two-hot", FlowSpec(power_cycles=0)).key == base.key
+    assert "power_cycles" not in base.to_spec()
+    powered = EvalJob("fifo", 4, 4, "SRAG", "two-hot", FlowSpec(power_cycles=256))
     assert powered.key != base.key
-    assert powered.spec()["power_cycles"] == 256
+    assert powered.to_spec()["power_cycles"] == 256
 
 
 def test_record_from_dict_tolerates_pre_power_cache_entries():
@@ -413,18 +414,18 @@ def test_build_campaign_rejects_name_mismatch(monkeypatch):
 def test_opt_level_only_changes_key_when_enabled():
     """Every pre-optimization cache entry must keep matching its job."""
     base = EvalJob("fifo", 4, 4, "CntAG", "decoders")
-    assert EvalJob("fifo", 4, 4, "CntAG", "decoders", opt_level=0).key == base.key
-    assert "opt_level" not in base.spec()
-    optimized = EvalJob("fifo", 4, 4, "CntAG", "decoders", opt_level=1)
+    assert EvalJob("fifo", 4, 4, "CntAG", "decoders", FlowSpec(opt_level=0)).key == base.key
+    assert "opt_level" not in base.to_spec()
+    optimized = EvalJob("fifo", 4, 4, "CntAG", "decoders", FlowSpec(opt_level=1))
     assert optimized.key != base.key
-    assert optimized.spec()["opt_level"] == 1
+    assert optimized.to_spec()["opt_level"] == 1
     assert optimized.label.endswith(" O1")
     assert not base.label.endswith(" O1")
 
 
 def test_optimized_jobs_record_the_win():
     raw = evaluate_job(EvalJob("fifo", 8, 8, "CntAG", "decoders"))
-    opt = evaluate_job(EvalJob("fifo", 8, 8, "CntAG", "decoders", opt_level=1))
+    opt = evaluate_job(EvalJob("fifo", 8, 8, "CntAG", "decoders", FlowSpec(opt_level=1)))
     assert raw.status == opt.status == "ok"
     assert raw.opt_level == 0 and raw.opt_cells_removed == 0
     assert opt.opt_level == 1 and opt.opt_cells_removed > 0
@@ -548,13 +549,12 @@ def test_cli_requires_rows_cols_for_single_runs(capsys):
 
 def test_synthesize_is_idempotent_across_libraries():
     from repro.generators.srag_design import SragDesign
-    from repro.synth.cell_library import get_library
     from repro.workloads.fifo import incremental_sequence
 
     design = SragDesign(incremental_sequence(32))
-    first = design.synthesize(get_library("std018"))
-    other = design.synthesize(get_library("std018_lp"))
-    again = design.synthesize(get_library("std018"))
+    first = design.synthesize(spec=FlowSpec(library="std018"))
+    other = design.synthesize(spec=FlowSpec(library="std018_lp"))
+    again = design.synthesize(spec=FlowSpec(library="std018"))
     assert first.buffers_inserted == other.buffers_inserted == again.buffers_inserted
     assert first.area_cells == again.area_cells
     assert first.delay_ns == again.delay_ns

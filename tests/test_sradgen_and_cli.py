@@ -187,7 +187,7 @@ def test_cli_campaign_opt_level_override(capsys):
     """--opt-level re-levels every job of a campaign instead of being ignored."""
     assert main(["--campaign", "smoke", "--serial", "--opt-level", "1"]) == 0
     out = capsys.readouterr().out
-    assert "overriding opt level: every job runs at O1" in out
+    assert "overriding flow settings: every job runs with opt_level=1" in out
     # Every per-job progress line for this campaign carries the O1 marker.
     job_lines = [line for line in out.splitlines() if line.startswith("  [")]
     assert job_lines and all(" O1 " in line for line in job_lines)

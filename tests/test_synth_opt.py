@@ -12,6 +12,7 @@ decoder points of the demo grid.
 import pytest
 
 from repro.engine.jobs import STYLE_VARIANTS, build_design
+from repro.flow import FlowSpec
 from repro.hdl.compiled import CompiledSimulator
 from repro.hdl.netlist import Netlist
 from repro.hdl.simulator import Simulator
@@ -353,7 +354,7 @@ def test_pipeline_reaches_fixpoint():
 def test_flow_runs_opt_before_buffering_and_reports_it():
     design = build_design(build_pattern("motion_est_read", 16, 16), "CntAG", "decoders")
     raw = run_synthesis_flow(design.netlist)
-    opt = run_synthesis_flow(design.netlist, opt_level=1)
+    opt = run_synthesis_flow(design.netlist, spec=FlowSpec(opt_level=1))
     assert raw.opt_report is None
     assert opt.opt_report is not None and opt.opt_report.cells_removed > 0
     assert opt.area_cells < raw.area_cells
@@ -390,7 +391,7 @@ def test_optimization_strictly_shrinks_cntag_decoder_demo_points():
                 build_pattern(workload, size, size), "CntAG", "decoders"
             )
             raw = run_synthesis_flow(design.netlist)
-            opt = run_synthesis_flow(design.netlist, opt_level=1)
+            opt = run_synthesis_flow(design.netlist, spec=FlowSpec(opt_level=1))
             raw_cells = sum(raw.area.cell_counts.values())
             opt_cells = sum(opt.area.cell_counts.values())
             assert opt_cells < raw_cells, (
