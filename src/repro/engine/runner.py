@@ -117,6 +117,28 @@ class EvalRecord:
         return cls(cached=cached, **{k: v for k, v in data.items() if k in known})
 
 
+def _warm_worker() -> None:
+    """Process-pool initializer: pre-import the evaluation stack.
+
+    Run once per worker process instead of lazily on its first job, so the
+    import and registry-construction cost overlaps with job submission and
+    every job -- including the first one a worker sees -- pays only for its
+    own evaluation.
+    """
+    from repro.hdl import primitives
+    from repro.synth import cell_library
+    from repro.workloads.registry import available_workloads
+
+    available_workloads()
+    # Touching the tables forces their module-level construction here.
+    assert primitives.PRIMITIVES and cell_library.LIBRARIES
+
+
+def _evaluate_batch(jobs: List[EvalJob]) -> List[EvalRecord]:
+    """Evaluate a chunk of jobs in one worker call (amortises pickling)."""
+    return [evaluate_job(job) for job in jobs]
+
+
 def evaluate_job(job: EvalJob) -> EvalRecord:
     """Evaluate one job: build the pattern and design, synthesise, measure.
 
@@ -278,6 +300,17 @@ class CampaignRunner:
         Optional callback invoked as ``progress(record, done, total)`` as
         each record becomes available (cached records first, then fresh ones
         in completion order).
+    chunk_size:
+        Jobs per worker submission.  ``None`` (the default) picks a size
+        that spreads the pending jobs over roughly four batches per worker,
+        amortising per-submit pickling without starving the pool of
+        parallelism; ``1`` restores one-future-per-job dispatch.
+
+    One worker pool is kept alive across the runner's lifetime, so a
+    sequence of ``run()`` calls (a campaign sweep, an explorer session)
+    pays process startup and the per-worker registry warm-up exactly once.
+    Use the runner as a context manager -- or call :meth:`close` -- to shut
+    the pool down deterministically.
     """
 
     def __init__(
@@ -286,12 +319,58 @@ class CampaignRunner:
         *,
         workers: Optional[int] = None,
         progress: Optional[Callable[[EvalRecord, int, int], None]] = None,
+        chunk_size: Optional[int] = None,
     ):
         self.cache = cache if cache is not None else ResultCache()
         if workers is None:
             workers = min(os.cpu_count() or 1, 8)
         self.workers = max(0, workers)
         self.progress = progress
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.chunk_size = chunk_size
+        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+
+    # ---------------------------------------------------------------- pool
+    def _get_pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        """The persistent worker pool, created (and warmed) on first use."""
+        if self._pool is None:
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.workers, initializer=_warm_worker
+            )
+        return self._pool
+
+    def _discard_pool(self) -> None:
+        # getattr: __del__ may run on a half-constructed runner whose
+        # __init__ raised before _pool was assigned.
+        pool = getattr(self, "_pool", None)
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def close(self) -> None:
+        """Shut down the persistent worker pool (idempotent)."""
+        self._discard_pool()
+
+    def __enter__(self) -> "CampaignRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown dependent
+        self.close()
+
+    def _chunked(self, jobs: List[EvalJob]) -> List[List[EvalJob]]:
+        """Split pending jobs into per-submission batches."""
+        if self.chunk_size is not None:
+            size = self.chunk_size
+        else:
+            # ~4 batches per worker: large enough to amortise pickling and
+            # future bookkeeping, small enough to keep every worker busy
+            # even when job durations are skewed.
+            size = max(1, len(jobs) // (4 * max(1, self.workers)))
+        return [jobs[i:i + size] for i in range(0, len(jobs), size)]
 
     # ------------------------------------------------------------------ run
     def run(self, campaign: Campaign, *, force: bool = False) -> CampaignResult:
@@ -356,15 +435,42 @@ class CampaignRunner:
                 BrokenProcessPool,
             ) as error:  # pragma: no cover - environment dependent
                 # Sandboxes without fork support or /dev/shm land here; the
-                # campaign still completes, just serially.
+                # campaign still completes, just serially.  The broken pool
+                # is discarded so a later run() can try a fresh one.
                 print(f"process pool unavailable ({error}); falling back to serial")
+                self._discard_pool()
         for job in jobs:
             if job.key not in produced:
                 yield evaluate_job(job)
 
     def _evaluate_parallel(self, jobs: List[EvalJob]):
-        max_workers = min(self.workers, len(jobs))
-        with concurrent.futures.ProcessPoolExecutor(max_workers=max_workers) as pool:
-            futures = [pool.submit(evaluate_job, job) for job in jobs]
-            for future in concurrent.futures.as_completed(futures):
-                yield future.result()
+        pool = self._get_pool()
+        batches = self._chunked(jobs)
+        future_jobs = {
+            pool.submit(_evaluate_batch, batch): batch for batch in batches
+        }
+        for future in concurrent.futures.as_completed(future_jobs):
+            try:
+                records = future.result()
+            except (OSError, BrokenProcessPool):
+                # Pool-level breakage: every remaining future is doomed too;
+                # escalate so _evaluate falls back to serial in-process.
+                raise
+            except Exception as error:
+                # One raising future must not abort the whole campaign
+                # mid-generator.  evaluate_job itself never raises, so a
+                # failed future is a dispatch failure (pickling, a worker
+                # dying mid-batch) that cannot be attributed to any single
+                # job of the batch; re-evaluate the batch in-process so the
+                # healthy jobs still get real records and the true offender
+                # is classified per job by evaluate_job -- deterministic
+                # inapplicability as "skipped", mirroring explore(),
+                # anything else as a transient (uncached) "error".
+                batch = future_jobs[future]
+                print(
+                    f"worker batch failed ({type(error).__name__}: {error}); "
+                    f"re-evaluating {len(batch)} job(s) in-process"
+                )
+                records = [evaluate_job(job) for job in batch]
+            for record in records:
+                yield record

@@ -21,7 +21,16 @@ from __future__ import annotations
 import itertools
 import re
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.hdl.primitives import PRIMITIVES, CellSpec
 
@@ -165,6 +174,13 @@ class Netlist:
         self._inputs: Dict[str, Net] = {}
         self._outputs: Dict[str, Net] = {}
         self._name_counter = itertools.count()
+        # Cached topological_combinational_order, dropped on any structural
+        # mutation (add_cell / remove_cell / replace_net).
+        self._topo_cache: Optional[List[Cell]] = None
+        # Rewrite listeners: called as listener(event, *payload) after every
+        # structural mutation.  Optimization passes use these to seed their
+        # dirty worklists instead of rescanning the whole netlist.
+        self._rewrite_listeners: List[Callable[..., None]] = []
 
     # ------------------------------------------------------------------ nets
     def _unique_name(self, prefix: str, table: Dict[str, object]) -> str:
@@ -247,6 +263,45 @@ class Netlist:
         """All cell instances, by instance name."""
         return dict(self._cells)
 
+    def has_cell(self, name: str) -> bool:
+        """True when cell instance ``name`` exists.
+
+        Unlike ``name in netlist.cells`` this does not copy the cell table,
+        so it is safe to call inside per-cell optimization loops.
+        """
+        return name in self._cells
+
+    # --------------------------------------------------------- change tracking
+    def add_rewrite_listener(
+        self, listener: Callable[..., None]
+    ) -> Callable[[], None]:
+        """Register a structural-mutation observer; returns an unsubscriber.
+
+        ``listener`` is invoked after every mutation as:
+
+        * ``listener("add_cell", cell)``
+        * ``listener("remove_cell", cell)`` (after disconnection)
+        * ``listener("replace_net", old, new, moved)`` where ``moved`` is the
+          list of ``(cell, pin)`` loads re-pointed from ``old`` to ``new``
+
+        Optimization passes register a listener for the duration of one run
+        to seed their dirty worklists from the exact cells a rewrite touched,
+        instead of rescanning every cell every sweep.
+        """
+        self._rewrite_listeners.append(listener)
+
+        def unsubscribe() -> None:
+            try:
+                self._rewrite_listeners.remove(listener)
+            except ValueError:  # already unsubscribed
+                pass
+
+        return unsubscribe
+
+    def _notify(self, event: str, *payload) -> None:
+        for listener in tuple(self._rewrite_listeners):
+            listener(event, *payload)
+
     # ----------------------------------------------------------------- cells
     def add_cell(
         self,
@@ -298,6 +353,9 @@ class Netlist:
             else:
                 net.loads.append((cell, pin_name))
         self._cells[name] = cell
+        self._topo_cache = None
+        if self._rewrite_listeners:
+            self._notify("add_cell", cell)
         return cell
 
     # ------------------------------------------------------- helper builders
@@ -333,17 +391,52 @@ class Netlist:
         for net in (old, new):
             if self._nets.get(net.name) is not net:
                 raise NetlistError(f"net {net.name!r} is not in this netlist")
-        moved = 0
-        for cell, pin in old.loads:
+        moved_loads = old.loads
+        for cell, pin in moved_loads:
             cell.pins[pin] = new
             new.loads.append((cell, pin))
-            moved += 1
+        moved = len(moved_loads)
         old.loads = []
         for port_name, net in self._outputs.items():
             if net is old:
                 self._outputs[port_name] = new
                 moved += 1
+        self._topo_cache = None
+        if self._rewrite_listeners:
+            self._notify("replace_net", old, new, moved_loads)
         return moved
+
+    def move_loads(
+        self, old: Net, new: Net, loads: Sequence[Tuple[Cell, str]]
+    ) -> int:
+        """Re-point the given ``(cell, pin)`` loads of ``old`` at ``new``.
+
+        The partial-fanout counterpart of :meth:`replace_net` (buffer-tree
+        insertion splits one net's loads across several buffers).  Listeners
+        receive the same ``("replace_net", old, new, moved)`` event, with
+        ``moved`` holding exactly the loads that moved.  Returns the number
+        of connections moved.
+        """
+        if old is new or not loads:
+            return 0
+        for net in (old, new):
+            if self._nets.get(net.name) is not net:
+                raise NetlistError(f"net {net.name!r} is not in this netlist")
+        moved = list(loads)
+        for cell, pin in moved:
+            if cell.pins.get(pin) is not old:
+                raise NetlistError(
+                    f"{cell.name}.{pin} does not load net {old.name!r}"
+                )
+        doomed = set(moved)
+        old.loads = [load for load in old.loads if load not in doomed]
+        for cell, pin in moved:
+            cell.pins[pin] = new
+            new.loads.append((cell, pin))
+        self._topo_cache = None
+        if self._rewrite_listeners:
+            self._notify("replace_net", old, new, moved)
+        return len(moved)
 
     def remove_cell(self, name: str) -> Cell:
         """Disconnect and delete the cell instance ``name``.
@@ -364,6 +457,9 @@ class Netlist:
                     net.loads.remove((cell, pin_name))
                 except ValueError:
                     pass
+        self._topo_cache = None
+        if self._rewrite_listeners:
+            self._notify("remove_cell", cell)
         return cell
 
     def prune_dangling_nets(self) -> int:
@@ -463,7 +559,13 @@ class Netlist:
 
         Flip-flop outputs and top-level inputs are treated as sources.  A
         combinational loop raises :class:`NetlistError`.
+
+        The order is cached and invalidated on any structural mutation, so
+        the simulators, timing analysis and the optimization passes share
+        one levelisation instead of each recomputing it from scratch.
         """
+        if self._topo_cache is not None:
+            return list(self._topo_cache)
         comb = self.combinational_cells()
         indegree: Dict[str, int] = {}
         dependents: Dict[str, List[Cell]] = {}
@@ -490,4 +592,5 @@ class Netlist:
         if len(order) != len(comb):
             cyclic = sorted(set(indegree) - {c.name for c in order})
             raise NetlistError(f"combinational loop involving cells: {cyclic[:10]}")
-        return order
+        self._topo_cache = order
+        return list(order)

@@ -75,13 +75,18 @@ def _buffer_net(netlist: Netlist, net: Net, max_fanout: int) -> int:
         inserted += 1
         # add_cell() appended (buf_cell, "A") to net.loads; remember it.
         new_loads.append((buf_cell, "A"))
-        # Re-point the grouped loads at the buffered net.
-        for cell, pin in group:
-            cell.pins[pin] = buffered
-            buffered.loads.append((cell, pin))
+        # Re-point the grouped loads at the buffered net through the
+        # netlist's structural-mutation primitive, so the cached topological
+        # order is invalidated and rewrite listeners see the move.
+        netlist.move_loads(net, buffered, group)
         # Recurse in case a single buffer still exceeds the limit.
         inserted += _buffer_net(netlist, buffered, max_fanout)
 
+    # Pure permutation (same load set move_loads left behind): the legacy
+    # clock-loads-first, one-entry-per-group order is restored so that load
+    # iteration order -- and with it the float summation order inside
+    # cell_library.net_load, hence every reported delay -- stays
+    # byte-identical to the pre-move_loads implementation.
     net.loads = new_loads
     # The original net now drives one pin per group, which can itself exceed
     # the fanout limit for very wide nets (e.g. an enable driving hundreds of

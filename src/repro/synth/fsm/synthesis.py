@@ -30,7 +30,7 @@ from repro.synth.logic.minimize import MinimizationStats, minimize
 from repro.synth.logic.synthesize import sop_to_netlist
 from repro.synth.logic.truth_table import TruthTable
 
-__all__ = ["FsmSynthesisResult", "synthesize_fsm"]
+__all__ = ["FsmSynthesisResult", "next_state_tables", "synthesize_fsm"]
 
 #: Widest state register for which truth-table based synthesis is attempted.
 MAX_TABLE_WIDTH = 16
@@ -68,6 +68,35 @@ class FsmSynthesisResult:
     stats: MinimizationStats = field(default_factory=MinimizationStats)
     synthesis_seconds: float = 0.0
     structural: bool = False
+
+
+def next_state_tables(
+    fsm: FiniteStateMachine, encoding: str = "binary"
+) -> List[TruthTable]:
+    """The per-state-bit next-state truth tables synthesis minimises.
+
+    One table per state bit: the on-set holds the codes of the states whose
+    successor asserts that bit, and every unused code is a don't-care.  This
+    is the exact workload :func:`synthesize_fsm` hands to the minimiser, and
+    the single definition the regression tests and ``tools/bench.py`` use.
+    """
+    enc = encoding_by_name(encoding)
+    width = enc.width(fsm.num_states)
+    codes = enc.codes(fsm.num_states)
+    code_of = {s: codes[s] for s in range(fsm.num_states)}
+    dc_set = frozenset(c for c in range(1 << width) if c not in set(codes))
+    return [
+        TruthTable(
+            num_inputs=width,
+            on_set=frozenset(
+                code_of[s]
+                for s in range(fsm.num_states)
+                if (code_of[fsm.next_state[s]] >> bit) & 1
+            ),
+            dc_set=dc_set,
+        )
+        for bit in range(width)
+    ]
 
 
 def synthesize_fsm(
@@ -129,13 +158,7 @@ def synthesize_fsm(
 
     # Next-state logic: one Boolean function of the state bits per state bit.
     next_nets: List[Net] = []
-    for bit in range(width):
-        on_set = frozenset(
-            code_of[s]
-            for s in range(fsm.num_states)
-            if (code_of[fsm.next_state[s]] >> bit) & 1
-        )
-        table = TruthTable(num_inputs=width, on_set=on_set, dc_set=dc_codes)
+    for bit, table in enumerate(next_state_tables(fsm, encoding)):
         cover, stats = minimize(table, max_exact_inputs=max_exact_inputs)
         total_stats = total_stats + stats
         next_nets.append(

@@ -17,12 +17,19 @@ took over six hours while the shift-register solution took 36 minutes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+from dataclasses import dataclass, replace
+from functools import lru_cache
+from typing import Callable, Dict, FrozenSet, List, Sequence, Set, Tuple
 
 from repro.synth.logic.truth_table import TruthTable
 
 __all__ = ["Implicant", "MinimizationStats", "minimize"]
+
+try:  # Python >= 3.10
+    _popcount: Callable[[int], int] = int.bit_count  # type: ignore[attr-defined]
+except AttributeError:  # pragma: no cover - exercised only on Python 3.9
+    def _popcount(x: int) -> int:
+        return bin(x).count("1")
 
 
 @dataclass(frozen=True)
@@ -46,7 +53,7 @@ class Implicant:
     @property
     def literal_count(self) -> int:
         """Number of literals in the product term."""
-        return bin(self.care_mask).count("1")
+        return _popcount(self.care_mask)
 
     def literals(self) -> List[Tuple[int, bool]]:
         """Return ``(variable index, is_positive)`` pairs for each literal."""
@@ -113,15 +120,30 @@ def minimize(
     exact Quine-McCluskey procedure; wider functions fall back to a greedy
     pairwise-merge heuristic (still correct, possibly sub-optimal), which is
     marked by ``stats.exact = False``.
+
+    Results are memoised on the (hashable, frozen) truth table: identical
+    functions recur constantly -- the same FSM evaluated at several opt
+    levels or encodings, symmetric output columns within one machine -- and
+    a repeat costs a dict lookup instead of a fresh minimisation.  Each call
+    still returns fresh ``cover``/``stats`` objects carrying exactly the
+    values a cold run would produce, so effort accounting is unchanged.
     """
+    cover, stats = _minimize_cached(table, max_exact_inputs)
+    return list(cover), replace(stats)
+
+
+@lru_cache(maxsize=128)
+def _minimize_cached(
+    table: TruthTable, max_exact_inputs: int
+) -> Tuple[Tuple[Implicant, ...], MinimizationStats]:
     stats = MinimizationStats(minterms=len(table.on_set))
     if not table.on_set:
-        return [], stats
+        return (), stats
     universe = 1 << table.num_inputs
     if len(table.on_set) + len(table.dc_set) == universe:
         # Constant 1 over the care set.
         stats.cover_size = 1
-        return [Implicant(values=0, care_mask=0, num_inputs=table.num_inputs)], stats
+        return (Implicant(values=0, care_mask=0, num_inputs=table.num_inputs),), stats
 
     if table.num_inputs <= max_exact_inputs:
         primes = _prime_implicants(table, stats)
@@ -130,7 +152,7 @@ def minimize(
         stats.exact = False
         cover = _greedy_merge(table, stats)
     stats.cover_size = len(cover)
-    return cover, stats
+    return tuple(cover), stats
 
 
 # ---------------------------------------------------------------------------
@@ -138,7 +160,159 @@ def minimize(
 # ---------------------------------------------------------------------------
 
 def _prime_implicants(table: TruthTable, stats: MinimizationStats) -> List[Implicant]:
-    """Generate all prime implicants of the on-set plus don't-cares."""
+    """Generate all prime implicants of the on-set plus don't-cares.
+
+    Cubes are bucketed by care mask (only cubes with the same mask can
+    merge) and each bucket is a plain integer set of cube values.  A cube
+    ``a`` merges with exactly the values ``a | bit`` for unset care bits
+    ``bit``, so partners are found by O(width) set lookups per cube instead
+    of comparing every pair of cubes of adjacent popcounts, and all the set
+    bookkeeping hashes small ints rather than tuples.  The resulting prime
+    set (and the merge-operation count -- one per mergeable adjacent pair)
+    is identical to the classic formulation's.
+    """
+    n = table.num_inputs
+    full_mask = (1 << n) - 1
+    current: Dict[int, Set[int]] = {
+        full_mask: set(table.on_set) | set(table.dc_set)
+    }
+    primes: Set[Tuple[int, int]] = set()
+
+    merge_operations = 0
+    while current:
+        merged: Dict[int, Set[int]] = {}
+        for mask, values_set in current.items():
+            used: Set[int] = set()
+            for a in values_set:
+                free = mask & ~a
+                while free:
+                    bit = free & -free
+                    free ^= bit
+                    b = a | bit
+                    if b not in values_set:
+                        continue
+                    # The merged cube drops ``bit`` from the care mask; its
+                    # value is ``a`` itself (the partner with the bit clear).
+                    merge_operations += 1
+                    merged.setdefault(mask & ~bit, set()).add(a)
+                    used.add(a)
+                    used.add(b)
+            for values in values_set - used:
+                primes.add((values, mask))
+        current = merged
+    stats.merge_operations += merge_operations
+    stats.prime_implicants = len(primes)
+    return [
+        Implicant(values=v, care_mask=m, num_inputs=n) for v, m in sorted(primes)
+    ]
+
+
+def _coverage_masks(
+    primes: Sequence[Implicant],
+    minterms: Sequence[int],
+    bit_of: Dict[int, int],
+) -> List[int]:
+    """Per-prime bitset over ``minterms``: bit ``i`` set when the prime covers
+    ``minterms[i]``.
+
+    Small cubes are expanded directly (enumerating the subsets of their free
+    variables and looking each minterm up), so the cost is proportional to
+    the cube size rather than to ``|minterms|``; wide cubes fall back to one
+    scan over the minterm list.
+    """
+    masks: List[int] = []
+    n_minterms = len(minterms)
+    for prime in primes:
+        values, care = prime.values, prime.care_mask
+        free_mask = ((1 << prime.num_inputs) - 1) & ~care
+        coverage = 0
+        if (1 << _popcount(free_mask)) <= n_minterms:
+            subset = free_mask
+            while True:
+                bit = bit_of.get(values | subset)
+                if bit is not None:
+                    coverage |= 1 << bit
+                if subset == 0:
+                    break
+                subset = (subset - 1) & free_mask
+        else:
+            for i, m in enumerate(minterms):
+                if (m & care) == values:
+                    coverage |= 1 << i
+        masks.append(coverage)
+    return masks
+
+
+def _select_cover(
+    primes: Sequence[Implicant],
+    on_set: FrozenSet[int],
+    stats: MinimizationStats,
+) -> List[Implicant]:
+    """Pick essential primes, then greedily cover the remaining minterms.
+
+    Coverage is represented as integer bitsets (one bit per on-set minterm),
+    so essential-prime detection is a single pass over the coverage masks and
+    each greedy iteration is AND/popcount work instead of per-minterm
+    ``covers()`` rescans.  The selected cover is element-for-element
+    identical to :func:`_select_cover_reference` (the pre-bitset
+    implementation, kept for the regression tests): minterms are visited in
+    the same order and the greedy tie-breaking is unchanged.
+    """
+    minterms = list(set(on_set))
+    bit_of = {m: i for i, m in enumerate(minterms)}
+    masks = _coverage_masks(primes, minterms, bit_of)
+
+    # Essential primes: sole cover of some minterm.  ``counts``/``first``
+    # reproduce the reference's per-minterm covering lists without building
+    # them: only the length and the head of each list were ever used.
+    counts = [0] * len(minterms)
+    first = [0] * len(minterms)
+    for index, coverage in enumerate(masks):
+        while coverage:
+            low = coverage & -coverage
+            coverage ^= low
+            bit = low.bit_length() - 1
+            if counts[bit] == 0:
+                first[bit] = index
+            counts[bit] += 1
+
+    cover_indices: List[int] = []
+    chosen: Set[int] = set()
+    covered = 0
+    for bit in range(len(minterms)):
+        if counts[bit] == 1 and first[bit] not in chosen:
+            chosen.add(first[bit])
+            cover_indices.append(first[bit])
+            covered |= masks[first[bit]]
+
+    # Greedy set cover for what's left.
+    remaining = ((1 << len(minterms)) - 1) & ~covered
+    literal_counts = [p.literal_count for p in primes]
+    candidates = [i for i in range(len(primes)) if i not in chosen]
+    while remaining:
+        best = max(
+            candidates,
+            key=lambda i: (_popcount(masks[i] & remaining), -literal_counts[i]),
+        )
+        if not masks[best] & remaining:
+            # Should not happen (primes cover the whole on-set), but guard
+            # against an infinite loop.
+            raise RuntimeError("prime implicants do not cover the on-set")
+        cover_indices.append(best)
+        candidates.remove(best)
+        remaining &= ~masks[best]
+    return [primes[i] for i in cover_indices]
+
+
+def _prime_implicants_reference(
+    table: TruthTable, stats: MinimizationStats
+) -> List[Implicant]:
+    """Pre-bitset prime generation, kept verbatim as the test oracle.
+
+    Groups cubes by care mask and ones-count and compares every pair of
+    adjacent groups; :func:`_prime_implicants` must produce the identical
+    prime list and merge-operation count.
+    """
     n = table.num_inputs
     full_mask = (1 << n) - 1
     current: Set[Tuple[int, int]] = {
@@ -177,12 +351,17 @@ def _prime_implicants(table: TruthTable, stats: MinimizationStats) -> List[Impli
     ]
 
 
-def _select_cover(
+def _select_cover_reference(
     primes: Sequence[Implicant],
     on_set: FrozenSet[int],
     stats: MinimizationStats,
 ) -> List[Implicant]:
-    """Pick essential primes, then greedily cover the remaining minterms."""
+    """Pre-bitset cover selection, kept verbatim as the test oracle.
+
+    The bitset :func:`_select_cover` must return an element-for-element
+    identical cover; the regression and property tests (and the speedup
+    floor benchmark) compare against this implementation.
+    """
     remaining = set(on_set)
     coverage: Dict[int, List[Implicant]] = {m: [] for m in remaining}
     for prime in primes:
@@ -214,6 +393,29 @@ def _select_cover(
         candidates.remove(best)
         remaining -= gained
     return cover
+
+
+def _minimize_reference(
+    table: TruthTable,
+    *,
+    max_exact_inputs: int = 12,
+) -> Tuple[List[Implicant], MinimizationStats]:
+    """:func:`minimize` with the pre-bitset cover selection (test oracle)."""
+    stats = MinimizationStats(minterms=len(table.on_set))
+    if not table.on_set:
+        return [], stats
+    universe = 1 << table.num_inputs
+    if len(table.on_set) + len(table.dc_set) == universe:
+        stats.cover_size = 1
+        return [Implicant(values=0, care_mask=0, num_inputs=table.num_inputs)], stats
+    if table.num_inputs <= max_exact_inputs:
+        primes = _prime_implicants_reference(table, stats)
+        cover = _select_cover_reference(primes, table.on_set, stats)
+    else:
+        stats.exact = False
+        cover = _greedy_merge(table, stats)
+    stats.cover_size = len(cover)
+    return cover, stats
 
 
 # ---------------------------------------------------------------------------

@@ -26,7 +26,7 @@ Soundness notes
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.hdl.netlist import Cell, Net, Netlist
 
@@ -100,50 +100,75 @@ class ConstantFoldPass:
     tied-high input).  Flip-flops whose next state is identically 0 under
     their constant inputs (a DFF fed from TIE0, say) are constant-0 nets,
     because every flop starts in state 0.
+
+    The first sweep analyses every cell; later sweeps only revisit the
+    dirty worklist seeded by the netlist's rewrite hooks -- a cell can only
+    become foldable when one of its input pins was re-pointed (or it was
+    just created), so restricting the re-analysis to those cells loses
+    nothing and the sweep order (topological, then flops) is unchanged.
     """
 
     name = "const_fold"
 
     def run(self, netlist: Netlist) -> PassStats:
         stats = PassStats(self.name)
-        changed = True
-        while changed:
-            changed = False
-            stats.iterations += 1
-            const_of = self._known_constants(netlist)
-            for cell in netlist.topological_combinational_order():
-                if cell.name not in netlist.cells:
-                    continue  # removed earlier in this sweep
-                if self._fold_comb(netlist, cell, const_of, stats):
-                    changed = True
-            for cell in list(netlist.sequential_cells()):
-                if self._fold_flop(netlist, cell, const_of, stats):
-                    changed = True
-            netlist.prune_dangling_nets()
+        const_of: Dict[int, int] = {}
+        tie_nets: Dict[int, Net] = {}
+        for cell in netlist.cells.values():
+            if cell.cell_type in ("TIE0", "TIE1"):
+                value = 1 if cell.cell_type == "TIE1" else 0
+                const_of[id(cell.pins["Y"])] = value
+                tie_nets.setdefault(value, cell.pins["Y"])
+
+        dirty: Set[str] = set()
+
+        def listener(event: str, *payload) -> None:
+            if event == "replace_net":
+                for cell, _pin in payload[2]:
+                    dirty.add(cell.name)
+            elif event == "add_cell":
+                dirty.add(payload[0].name)
+
+        unsubscribe = netlist.add_rewrite_listener(listener)
+        try:
+            scope: Optional[Set[str]] = None  # None: first sweep visits all
+            while True:
+                stats.iterations += 1
+                dirty.clear()
+                changed = False
+                for cell in netlist.topological_combinational_order():
+                    if scope is not None and cell.name not in scope:
+                        continue
+                    if not netlist.has_cell(cell.name):
+                        continue  # removed earlier in this sweep
+                    if self._fold_comb(netlist, cell, const_of, tie_nets, stats):
+                        changed = True
+                for cell in netlist.sequential_cells():
+                    if scope is not None and cell.name not in scope:
+                        continue
+                    if self._fold_flop(netlist, cell, const_of, tie_nets, stats):
+                        changed = True
+                netlist.prune_dangling_nets()
+                if not changed:
+                    break
+                scope = set(dirty)
+        finally:
+            unsubscribe()
         return stats
 
     # ------------------------------------------------------------- internals
     @staticmethod
-    def _known_constants(netlist: Netlist) -> Dict[int, int]:
-        """Map ``id(net) -> 0/1`` for every tie-driven net."""
-        const_of: Dict[int, int] = {}
-        for cell in netlist.cells.values():
-            if cell.cell_type in ("TIE0", "TIE1"):
-                const_of[id(cell.pins["Y"])] = 1 if cell.cell_type == "TIE1" else 0
-        return const_of
-
-    @staticmethod
     def _tie_net(netlist: Netlist, value: int, const_of: Dict[int, int],
-                 stats: PassStats) -> Net:
+                 tie_nets: Dict[int, Net], stats: PassStats) -> Net:
         """Return a net carrying ``value``, creating one tie source on demand."""
-        cell_type = "TIE1" if value else "TIE0"
-        for cell in netlist.cells.values():
-            if cell.cell_type == cell_type:
-                return cell.pins["Y"]
+        net = tie_nets.get(value)
+        if net is not None:
+            return net
         net = netlist.new_net("opt_tie")
-        netlist.add_cell(cell_type, Y=net)
+        netlist.add_cell("TIE1" if value else "TIE0", Y=net)
         stats.added += 1
         const_of[id(net)] = value
+        tie_nets[value] = net
         return net
 
     @staticmethod
@@ -198,7 +223,8 @@ class ConstantFoldPass:
         return None
 
     def _fold_comb(self, netlist: Netlist, cell: Cell,
-                   const_of: Dict[int, int], stats: PassStats) -> bool:
+                   const_of: Dict[int, int], tie_nets: Dict[int, Net],
+                   stats: PassStats) -> bool:
         # Ties are the constant sources; buffers trivially wire-fold, but
         # that rewrite belongs to BufferCollapsePass so per-pass stats say
         # where buffer removal actually happens.
@@ -210,7 +236,7 @@ class ConstantFoldPass:
         kind, payload = verdict
         out_net = cell.pins[cell.spec.outputs[0]]
         if kind == "const":
-            target = self._tie_net(netlist, payload, const_of, stats)
+            target = self._tie_net(netlist, payload, const_of, tie_nets, stats)
             if target is out_net:
                 return False  # the canonical tie itself feeds through here
             netlist.replace_net(out_net, target)
@@ -234,12 +260,13 @@ class ConstantFoldPass:
         return True
 
     def _fold_flop(self, netlist: Netlist, cell: Cell,
-                   const_of: Dict[int, int], stats: PassStats) -> bool:
+                   const_of: Dict[int, int], tie_nets: Dict[int, Net],
+                   stats: PassStats) -> bool:
         verdict = self._analyse(cell, const_of, sequential=True)
         if verdict != ("const", 0):
             return False
         out_net = cell.pins[cell.spec.outputs[0]]
-        target = self._tie_net(netlist, 0, const_of, stats)
+        target = self._tie_net(netlist, 0, const_of, tie_nets, stats)
         netlist.replace_net(out_net, target)
         netlist.remove_cell(cell.name)
         stats.removed += 1
@@ -286,26 +313,46 @@ class SharePass:
 
     def run(self, netlist: Netlist) -> PassStats:
         stats = PassStats(self.name)
-        changed = True
-        while changed:
-            changed = False
-            stats.iterations += 1
-            keeper_for: Dict[Tuple[str, tuple], Cell] = {}
-            for cell in list(netlist.cells.values()):
-                if cell.name not in netlist.cells:
-                    continue
-                key = _signature(cell)
-                keeper = keeper_for.get(key)
-                if keeper is None:
-                    keeper_for[key] = cell
-                    continue
-                for pin in cell.spec.outputs:
-                    netlist.replace_net(cell.pins[pin], keeper.pins[pin])
-                netlist.remove_cell(cell.name)
-                stats.removed += 1
-                stats.merged += 1
-                changed = True
-            netlist.prune_dangling_nets()
+        # Signatures only change when a cell's input pins are re-pointed, so
+        # they are cached per cell and invalidated through the netlist's
+        # rewrite hooks; each sweep then costs one dict pass over the cells
+        # instead of recanonicalising every cell's pin tuple.
+        sig_cache: Dict[str, Tuple[str, tuple]] = {}
+
+        def listener(event: str, *payload) -> None:
+            if event == "replace_net":
+                for cell, _pin in payload[2]:
+                    sig_cache.pop(cell.name, None)
+            elif event == "remove_cell":
+                sig_cache.pop(payload[0].name, None)
+
+        unsubscribe = netlist.add_rewrite_listener(listener)
+        try:
+            changed = True
+            while changed:
+                changed = False
+                stats.iterations += 1
+                keeper_for: Dict[Tuple[str, tuple], Cell] = {}
+                for cell in list(netlist.cells.values()):
+                    if not netlist.has_cell(cell.name):
+                        continue
+                    key = sig_cache.get(cell.name)
+                    if key is None:
+                        key = _signature(cell)
+                        sig_cache[cell.name] = key
+                    keeper = keeper_for.get(key)
+                    if keeper is None:
+                        keeper_for[key] = cell
+                        continue
+                    for pin in cell.spec.outputs:
+                        netlist.replace_net(cell.pins[pin], keeper.pins[pin])
+                    netlist.remove_cell(cell.name)
+                    stats.removed += 1
+                    stats.merged += 1
+                    changed = True
+                netlist.prune_dangling_nets()
+        finally:
+            unsubscribe()
         return stats
 
 
@@ -314,27 +361,49 @@ class SharePass:
 # ---------------------------------------------------------------------------
 
 class InvPairPass:
-    """Collapse INV->INV chains: the second inverter's output is the first's input."""
+    """Collapse INV->INV chains: the second inverter's output is the first's input.
+
+    A cell only becomes collapsible when its ``A`` pin is re-pointed at an
+    inverter output, so sweeps after the first one revisit just the dirty
+    worklist seeded by the netlist's rewrite hooks.
+    """
 
     name = "inv_pairs"
 
     def run(self, netlist: Netlist) -> PassStats:
         stats = PassStats(self.name)
-        changed = True
-        while changed:
-            changed = False
-            stats.iterations += 1
-            for cell in list(netlist.cells.values()):
-                if cell.cell_type != "INV" or cell.name not in netlist.cells:
-                    continue
-                driver = cell.pins["A"].driver
-                if driver is None or driver[0].cell_type != "INV":
-                    continue
-                netlist.replace_net(cell.pins["Y"], driver[0].pins["A"])
-                netlist.remove_cell(cell.name)
-                stats.removed += 1
-                changed = True
-            netlist.prune_dangling_nets()
+        dirty: Set[str] = set()
+
+        def listener(event: str, *payload) -> None:
+            if event == "replace_net":
+                for cell, _pin in payload[2]:
+                    dirty.add(cell.name)
+
+        unsubscribe = netlist.add_rewrite_listener(listener)
+        try:
+            scope: Optional[Set[str]] = None  # None: first sweep visits all
+            while True:
+                stats.iterations += 1
+                dirty.clear()
+                changed = False
+                for cell in list(netlist.cells.values()):
+                    if scope is not None and cell.name not in scope:
+                        continue
+                    if cell.cell_type != "INV" or not netlist.has_cell(cell.name):
+                        continue
+                    driver = cell.pins["A"].driver
+                    if driver is None or driver[0].cell_type != "INV":
+                        continue
+                    netlist.replace_net(cell.pins["Y"], driver[0].pins["A"])
+                    netlist.remove_cell(cell.name)
+                    stats.removed += 1
+                    changed = True
+                netlist.prune_dangling_nets()
+                if not changed:
+                    break
+                scope = set(dirty)
+        finally:
+            unsubscribe()
         return stats
 
 
@@ -352,7 +421,7 @@ class BufferCollapsePass:
         stats = PassStats(self.name)
         stats.iterations = 1
         for cell in list(netlist.cells.values()):
-            if cell.cell_type != "BUF" or cell.name not in netlist.cells:
+            if cell.cell_type != "BUF" or not netlist.has_cell(cell.name):
                 continue
             netlist.replace_net(cell.pins["Y"], cell.pins["A"])
             netlist.remove_cell(cell.name)

@@ -103,10 +103,18 @@ def timing_report(netlist: Netlist, library: CellLibrary = STD018) -> TimingRepo
         predecessor[q_net.name] = (flop, None, delay)
 
     for cell in order:
-        input_arrivals = []
+        # Track the max inline instead of materialising an arrival list per
+        # cell; ties keep breaking on the net name, exactly like the tuple
+        # max() this replaces.
+        latest, latest_net = 0.0, None
         for pin, net in cell.input_nets().items():
-            input_arrivals.append((arrival.get(net.name, 0.0), net.name))
-        latest, latest_net = max(input_arrivals, default=(0.0, None))
+            t = arrival.get(net.name, 0.0)
+            if (
+                latest_net is None
+                or t > latest
+                or (t == latest and net.name > latest_net)
+            ):
+                latest, latest_net = t, net.name
         for pin, net in cell.output_nets().items():
             delay = library.gate_delay(cell.cell_type, net_load(net, library))
             arrival[net.name] = latest + delay

@@ -14,6 +14,7 @@ Every factory has the uniform signature ``factory(rows, cols) -> AffineAccessPat
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Callable, Dict, List
 
 from repro.workloads import dct, fifo, motion_estimation, patterns, zoom
@@ -49,14 +50,24 @@ def available_workloads() -> List[str]:
 def register_workload(name: str, factory: WorkloadFactory) -> None:
     """Register (or replace) a workload factory under ``name``."""
     WORKLOADS[name] = factory
+    _cached_pattern.cache_clear()
+
+
+@lru_cache(maxsize=128)
+def _cached_pattern(name: str, rows: int, cols: int) -> AffineAccessPattern:
+    return WORKLOADS[name](rows, cols)
 
 
 def build_pattern(name: str, rows: int, cols: int) -> AffineAccessPattern:
-    """Build the access pattern for workload ``name`` on a ``rows x cols`` array."""
-    try:
-        factory = WORKLOADS[name]
-    except KeyError:
+    """Build the access pattern for workload ``name`` on a ``rows x cols`` array.
+
+    Patterns are memoised per ``(name, rows, cols)``: a campaign grid asks
+    for the same pattern once per style and opt level, the construction
+    walks the whole loop nest, and patterns are never mutated after
+    construction (re-registering a workload name drops the cache).
+    """
+    if name not in WORKLOADS:
         raise KeyError(
             f"unknown workload {name!r}; available: {', '.join(available_workloads())}"
-        ) from None
-    return factory(rows, cols)
+        )
+    return _cached_pattern(name, rows, cols)

@@ -225,6 +225,98 @@ def test_serial_and_parallel_runs_are_identical():
     }
 
 
+class _FakePool:
+    """Stand-in process pool: runs batches inline, failing selected jobs.
+
+    ``submit`` returns real ``concurrent.futures.Future`` objects so the
+    runner's ``as_completed`` loop is exercised unchanged.
+    """
+
+    def __init__(self, fail=lambda job: None):
+        self.fail = fail
+        self.submissions = []
+
+    def submit(self, fn, batch):
+        import concurrent.futures
+
+        self.submissions.append(list(batch))
+        future = concurrent.futures.Future()
+        errors = [e for e in (self.fail(job) for job in batch) if e is not None]
+        if errors:
+            future.set_exception(errors[0])
+        else:
+            future.set_result(fn(batch))
+        return future
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        pass
+
+
+def test_one_failing_batch_does_not_abort_the_campaign(tmp_path, capsys):
+    """Satellite regression: a raising future is recovered, not fatal.
+
+    A future-level failure cannot be pinned on a single job of the batch,
+    so the runner re-evaluates that batch in-process: healthy jobs still
+    produce (and cache) real records instead of misclassified failures.
+    """
+    campaign = _tiny_campaign()
+    doomed = campaign.jobs[1]
+    runner = CampaignRunner(ResultCache(str(tmp_path)), workers=4, chunk_size=2)
+    runner._pool = _FakePool(
+        fail=lambda job: RuntimeError("worker exploded")
+        if job.key == doomed.key
+        else None
+    )
+    result = runner.run(campaign)
+    assert len(result.records) == len(campaign.jobs)
+    assert "worker exploded" in capsys.readouterr().out
+    # Every job of the failed batch was re-evaluated in-process: the whole
+    # campaign completes with real statuses, nothing marked from the crash.
+    statuses = {r.key: r.status for r in result.records}
+    assert statuses[doomed.key] == "ok"
+    assert all(status in ("ok", "skipped") for status in statuses.values())
+    assert doomed.key in ResultCache(str(tmp_path))
+    # The retried records are cached like any other.
+    warm = CampaignRunner(ResultCache(str(tmp_path)), workers=0).run(campaign)
+    assert warm.hits == len(campaign.jobs)
+
+
+def test_chunked_dispatch_batches_jobs(tmp_path):
+    campaign = _tiny_campaign()
+    runner = CampaignRunner(ResultCache(str(tmp_path)), workers=2, chunk_size=2)
+    pool = _FakePool()
+    runner._pool = pool
+    result = runner.run(campaign)
+    assert [len(batch) for batch in pool.submissions] == [2, 1]
+    assert all(r.status in ("ok", "skipped") for r in result.records)
+
+
+def test_chunk_size_validation_and_default_heuristic():
+    with pytest.raises(ValueError):
+        CampaignRunner(ResultCache(None), chunk_size=0)
+    runner = CampaignRunner(ResultCache(None), workers=4)
+    jobs = list(range(32))  # _chunked only slices, any payload works
+    batches = runner._chunked(jobs)  # 32 jobs / (4 workers * 4) -> size 2
+    assert [len(b) for b in batches] == [2] * 16
+    assert [job for batch in batches for job in batch] == jobs
+    assert [len(b) for b in CampaignRunner(
+        ResultCache(None), workers=4, chunk_size=5
+    )._chunked(jobs)] == [5, 5, 5, 5, 5, 5, 2]
+
+
+def test_pool_persists_across_runs_and_closes():
+    campaign = _tiny_campaign()
+    with CampaignRunner(ResultCache(None), workers=2) as runner:
+        runner.run(campaign)
+        pool_after_first = runner._pool
+        runner.run(campaign, force=True)
+        assert runner._pool is pool_after_first
+        if pool_after_first is None:
+            pytest.skip("process pools unavailable in this environment")
+    assert runner._pool is None  # context exit shut the pool down
+    runner.close()  # idempotent
+
+
 def test_progress_counts_duplicate_jobs(tmp_path):
     """Regression: duplicate uncached jobs must each fire the callback."""
     job = EvalJob("fifo", 4, 4, "SRAG", "two-hot")

@@ -218,3 +218,67 @@ def test_prune_dangling_nets_spares_ports_and_connected_nets():
     assert unused_input.name in netlist.nets
     assert dangling is not netlist.net("floating")  # recreated fresh is fine
     netlist.validate()
+
+
+# ---------------------------------------------------------------------------
+# Topological-order caching and rewrite listeners
+# ---------------------------------------------------------------------------
+
+def test_topological_order_is_cached_and_invalidated():
+    netlist = _and_pair()
+    first = netlist.topological_combinational_order()
+    second = netlist.topological_combinational_order()
+    assert [c.name for c in first] == [c.name for c in second]
+    # The cached list is defensively copied: callers may keep or mutate it.
+    first.clear()
+    assert [c.name for c in netlist.topological_combinational_order()] == [
+        c.name for c in second
+    ]
+    # Every structural mutation drops the cache and the order stays correct.
+    netlist.remove_cell("g3")
+    after_remove = netlist.topological_combinational_order()
+    assert "g3" not in [c.name for c in after_remove]
+    y1, y2 = netlist.net("y1"), netlist.net("y2")
+    netlist.replace_net(y2, y1)
+    new_net = netlist.new_net("tail")
+    netlist.add_cell("INV", name="g4", A=y1, Y=new_net)
+    names = [c.name for c in netlist.topological_combinational_order()]
+    assert "g4" in names
+    assert names.index("g1") < names.index("g4")
+
+
+def test_rewrite_listeners_fire_and_unsubscribe():
+    netlist = _and_pair()
+    events = []
+    unsubscribe = netlist.add_rewrite_listener(
+        lambda event, *payload: events.append((event, payload))
+    )
+
+    y1, y2 = netlist.net("y1"), netlist.net("y2")
+    netlist.replace_net(y2, y1)
+    event, payload = events[-1]
+    assert event == "replace_net"
+    old, new, moved = payload
+    assert old is y2 and new is y1
+    assert {(cell.name, pin) for cell, pin in moved} == {("g3", "A")}
+
+    removed = netlist.remove_cell("g2")
+    assert events[-1] == ("remove_cell", (removed,))
+
+    added = netlist.add_cell("INV", name="g5", A=y1, Y=netlist.new_net("q"))
+    assert events[-1] == ("add_cell", (added,))
+
+    unsubscribe()
+    unsubscribe()  # idempotent
+    count = len(events)
+    netlist.add_cell("INV", name="g6", A=y1, Y=netlist.new_net("r"))
+    assert len(events) == count
+
+
+def test_replace_net_noop_does_not_notify():
+    netlist = _and_pair()
+    events = []
+    netlist.add_rewrite_listener(lambda event, *payload: events.append(event))
+    net = netlist.net("y1")
+    assert netlist.replace_net(net, net) == 0
+    assert events == []

@@ -6,7 +6,19 @@ from hypothesis import strategies as st
 
 from repro.hdl.netlist import Netlist
 from repro.hdl.simulator import Simulator
-from repro.synth.logic.minimize import Implicant, minimize
+from repro.synth.fsm.fsm import FiniteStateMachine
+from repro.synth.fsm.synthesis import next_state_tables
+from repro.synth.logic.minimize import (
+    Implicant,
+    MinimizationStats,
+    _cube_inside,
+    _greedy_merge,
+    _minimize_reference,
+    _prime_implicants,
+    _select_cover,
+    _select_cover_reference,
+    minimize,
+)
 from repro.synth.logic.synthesize import sop_to_netlist
 from repro.synth.logic.truth_table import TruthTable
 
@@ -126,6 +138,141 @@ def test_heuristic_fallback_is_still_correct():
     assert not stats.exact
     for minterm in range(64):
         assert _cover_evaluates(cover, minterm) == int(minterm % 2 == 0)
+
+
+def test_minimize_returns_fresh_objects_despite_memoisation():
+    table = TruthTable.from_minterms(3, on_set=[1, 3, 5, 7])
+    cover_a, stats_a = minimize(table)
+    cover_b, stats_b = minimize(table)
+    assert cover_a == cover_b and stats_a == stats_b
+    # Mutating one caller's results must not leak into the next caller's.
+    cover_a.clear()
+    stats_a.cover_size = 99
+    cover_c, stats_c = minimize(table)
+    assert cover_c == cover_b
+    assert stats_c == stats_b
+
+
+# ---------------------------------------------------------------------------
+# Bitset engine vs the pre-bitset reference implementation
+# ---------------------------------------------------------------------------
+
+@given(num_inputs=st.integers(2, 6), data=st.data())
+@settings(max_examples=80, deadline=None)
+def test_bitset_cover_matches_reference_property(num_inputs, data):
+    """Bitset covers are element-for-element the legacy covers."""
+    universe = list(range(1 << num_inputs))
+    on_set = data.draw(st.sets(st.sampled_from(universe)))
+    rest = [m for m in universe if m not in on_set]
+    dc_set = data.draw(st.sets(st.sampled_from(rest))) if rest else set()
+    table = TruthTable.from_minterms(num_inputs, on_set, dc_set)
+    cover, stats = minimize(table)
+    ref_cover, ref_stats = _minimize_reference(table)
+    assert cover == ref_cover
+    assert stats == ref_stats
+
+
+def _fsm_tables(length, encoding="binary"):
+    """The next-state truth tables FSM synthesis hands to the minimiser."""
+    fsm = FiniteStateMachine.from_select_sequence(list(range(length)))
+    return next_state_tables(fsm, encoding)
+
+
+def _essential_primes(primes, on_set):
+    """Primes that are the sole cover of some on-set minterm."""
+    essentials = set()
+    for m in on_set:
+        covering = [p for p in primes if p.covers(m)]
+        if len(covering) == 1:
+            essentials.add(covering[0])
+    return essentials
+
+
+@pytest.mark.parametrize("length", [48, 64, 100])
+def test_fsm_workload_tables_essential_set_unchanged(length):
+    """Regression for the bitset rewrite on the FSM synthesis workload.
+
+    The cover must be element-for-element the reference cover, and its head
+    must be exactly the essential-prime set (essentials are selected first,
+    in minterm order, before greedy covering starts).
+    """
+    for table in _fsm_tables(length):
+        if not table.on_set:
+            continue
+        stats = MinimizationStats()
+        primes = _prime_implicants(table, stats)
+        cover = _select_cover(primes, table.on_set, stats)
+        reference = _select_cover_reference(primes, table.on_set, stats)
+        assert cover == reference
+        essentials = _essential_primes(primes, table.on_set)
+        assert set(cover[:len(essentials)]) == essentials
+
+
+# ---------------------------------------------------------------------------
+# Heuristic fallback internals
+# ---------------------------------------------------------------------------
+
+class _CountingSet:
+    """Set wrapper counting membership tests (detects bound rejection)."""
+
+    def __init__(self, members):
+        self.members = set(members)
+        self.lookups = 0
+
+    def __contains__(self, item):
+        self.lookups += 1
+        return item in self.members
+
+
+def test_cube_inside_enumerates_small_cubes():
+    # Cube "--00" (free bits 2 and 3 of a 4-input function).
+    allowed = _CountingSet({0b0000, 0b0100, 0b1000, 0b1100})
+    assert _cube_inside(0, 0b0011, 4, allowed)
+    assert allowed.lookups == 4  # every cube minterm was checked
+    # One missing corner breaks containment.
+    assert not _cube_inside(0, 0b0011, 4, _CountingSet({0, 4, 8}))
+
+
+def test_cube_inside_rejects_more_than_20_free_bits_without_enumerating():
+    num_inputs = 22
+    everything = _CountingSet(set())
+    # 21 free bits: rejected outright -- not a single membership test.
+    assert not _cube_inside(0, 1, num_inputs, everything)
+    assert everything.lookups == 0
+    # Exactly 20 free bits is inside the bound: enumeration starts (and
+    # fails fast on the first missing minterm).
+    two_care = (1 << 21) | 1
+    probe = _CountingSet(set())
+    assert not _cube_inside(0, two_care, num_inputs, probe)
+    assert probe.lookups == 1
+
+
+def test_greedy_merge_fallback_covers_exactly():
+    # Wide function: f = 1 iff the low two bits are 01, on 24 inputs but
+    # with a narrow on-set so the fallback stays cheap.
+    n = 24
+    on_set = frozenset((k << 2) | 1 for k in range(16))
+    table = TruthTable.from_minterms(n, on_set)
+    stats = MinimizationStats()
+    cover = _greedy_merge(table, stats)
+    assert stats.prime_implicants == len(cover)
+    assert stats.merge_operations > 0
+    for minterm in on_set:
+        assert any(cube.covers(minterm) for cube in cover)
+    # Spot-check off-set points near the cubes.
+    for minterm in [0, 2, 3, (5 << 2), (7 << 2) | 3, 1 << 23]:
+        assert minterm not in on_set
+        assert not any(cube.covers(minterm) for cube in cover)
+
+
+def test_minimize_wide_function_uses_fallback_and_marks_inexact():
+    n = 24
+    table = TruthTable.from_minterms(n, on_set=[(k << 2) | 1 for k in range(8)])
+    cover, stats = minimize(table)
+    assert not stats.exact
+    assert stats.cover_size == len(cover)
+    for k in range(8):
+        assert any(cube.covers((k << 2) | 1) for cube in cover)
 
 
 def test_stats_addition():

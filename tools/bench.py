@@ -1,0 +1,286 @@
+#!/usr/bin/env python
+"""Performance harness for the synthesis core.
+
+Times the scenarios PR 5 optimised -- Quine-McCluskey minimisation, the
+logic-optimization pipeline, FSM synthesis effort and cold/warm campaign
+dispatch -- and writes the measurements to a ``BENCH_*.json`` file, seeding
+the repo's performance trajectory: every future PR can run the same harness
+and diff the numbers.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench.py             # full sizes (~1 min)
+    PYTHONPATH=src python tools/bench.py --smoke     # CI-sized (~15 s)
+    PYTHONPATH=src python tools/bench.py --output BENCH_PR6.json
+
+Output schema (``scenario -> wall-clock + stats``)::
+
+    {
+      "schema": "sradgen-bench/1",
+      "mode": "full" | "smoke",
+      "python": "3.11.7",
+      "scenarios": {
+        "<name>": {
+          "wall_s": <best-of-N wall clock, seconds>,
+          "repeats": <N>,
+          ...                  # scenario-specific stats; scenarios that
+        }                      # also time the kept *_reference oracle
+      }                        # report "reference_wall_s" and "speedup"
+    }
+
+Where a pre-optimization reference implementation is still in the tree
+(``minimize``'s ``_reference`` shims), the harness times it too and records
+the speedup directly; the campaign/opt scenarios record absolute wall-clock
+for cross-PR comparison instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import sys
+import tempfile
+import time
+from typing import Callable, Dict, List, Tuple
+
+from repro.engine import CampaignRunner, ResultCache, build_campaign
+from repro.engine.jobs import build_design
+from repro.synth.fsm import FiniteStateMachine, synthesize_fsm
+from repro.synth.fsm.synthesis import next_state_tables
+from repro.synth.logic.minimize import (
+    MinimizationStats,
+    _minimize_cached,
+    _minimize_reference,
+    _prime_implicants,
+    _select_cover,
+    _select_cover_reference,
+    minimize,
+)
+from repro.synth.logic.truth_table import TruthTable
+from repro.synth.opt import optimize_netlist
+from repro.workloads import registry
+from repro.workloads.registry import build_pattern
+
+SCHEMA = "sradgen-bench/1"
+
+#: The qm_cover_selection scenario, shared with the CI floor benchmark
+#: (benchmarks/test_qm_cover_speedup.py loads this module for it).
+COVER_SEED = 2026
+COVER_INPUTS_SMOKE = 9
+COVER_INPUTS_FULL = 11
+
+
+def cover_selection_table(num_inputs: int) -> TruthTable:
+    """The seeded dense random table the cover-selection scenario times."""
+    random.seed(COVER_SEED)
+    on_set = frozenset(
+        random.sample(list(range(1 << num_inputs)), (1 << num_inputs) // 2)
+    )
+    return TruthTable(num_inputs=num_inputs, on_set=on_set)
+
+
+def _drop_in_process_caches() -> None:
+    """Reset memo caches so every repeat measures genuinely cold work."""
+    _minimize_cached.cache_clear()
+    registry._cached_pattern.cache_clear()
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> Tuple[float, object]:
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        _drop_in_process_caches()
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _fsm_next_state_tables(length: int) -> List[TruthTable]:
+    """The binary-encoded next-state tables FSM synthesis minimises."""
+    fsm = FiniteStateMachine.from_select_sequence(list(range(length)))
+    return next_state_tables(fsm, "binary")
+
+
+def bench_qm_fsm_tables(smoke: bool) -> Dict[str, object]:
+    """QM minimisation of the widest exact-input FSM next-state tables."""
+    length = 512 if smoke else 4096  # 4096 states = 12 state bits, the
+    tables = _fsm_next_state_tables(length)  # default max_exact_inputs
+    repeats = 3
+
+    def run_new():
+        stats = MinimizationStats()
+        for table in tables:
+            _cover, s = minimize(table)
+            stats = stats + s
+        return stats
+
+    def run_reference():
+        stats = MinimizationStats()
+        for table in tables:
+            _cover, s = _minimize_reference(table)
+            stats = stats + s
+        return stats
+
+    wall, stats = _best_of(run_new, repeats)
+    # The reference at full size runs once: it is the slow half by design.
+    ref_wall, _ = _best_of(run_reference, repeats if smoke else 1)
+    return {
+        "wall_s": wall,
+        "repeats": repeats,
+        "reference_wall_s": ref_wall,
+        "speedup": ref_wall / wall,
+        "fsm_states": length,
+        "table_inputs": tables[0].num_inputs,
+        "tables": len(tables),
+        "merge_operations": stats.merge_operations,
+        "prime_implicants": stats.prime_implicants,
+    }
+
+
+def bench_qm_cover_selection(smoke: bool) -> Dict[str, object]:
+    """Bitset vs reference cover selection on a dense random table."""
+    num_inputs = COVER_INPUTS_SMOKE if smoke else COVER_INPUTS_FULL
+    table = cover_selection_table(num_inputs)
+    primes = _prime_implicants(table, MinimizationStats())
+    repeats = 3
+
+    wall, cover = _best_of(
+        lambda: _select_cover(primes, table.on_set, MinimizationStats()), repeats
+    )
+    ref_wall, ref_cover = _best_of(
+        lambda: _select_cover_reference(primes, table.on_set, MinimizationStats()),
+        repeats,
+    )
+    assert cover == ref_cover, "bitset cover diverged from the reference"
+    return {
+        "wall_s": wall,
+        "repeats": repeats,
+        "reference_wall_s": ref_wall,
+        "speedup": ref_wall / wall,
+        "table_inputs": num_inputs,
+        "primes": len(primes),
+        "cover_size": len(cover),
+    }
+
+
+def bench_fsm_synthesis_effort(smoke: bool) -> Dict[str, object]:
+    """Wall-clock of whole-FSM synthesis, the paper's Section 3 scenario."""
+    lengths = [64, 128, 256] if smoke else [64, 128, 256, 1024]
+    per_n = {}
+    for length in lengths:
+        fsm = FiniteStateMachine.from_select_sequence(list(range(length)))
+        wall, result = _best_of(
+            lambda f=fsm: synthesize_fsm(f, encoding="binary"), 3
+        )
+        per_n[str(length)] = {
+            "wall_s": wall,
+            "merge_operations": result.stats.merge_operations,
+        }
+    return {
+        "wall_s": sum(entry["wall_s"] for entry in per_n.values()),
+        "repeats": 3,
+        "per_length": per_n,
+    }
+
+
+def bench_opt_pipeline(smoke: bool) -> Dict[str, object]:
+    """Worklist pass pipeline (O1) over representative netlists."""
+    size = 8 if smoke else 16
+    points = [("CntAG", "adders"), ("FSM", "binary")]
+    repeats = 3
+    total = 0.0
+    removed = {}
+    for style, variant in points:
+        pattern = build_pattern("motion_est_read", size, size)
+        design = build_design(pattern, style, variant)
+        netlist = design.netlist
+
+        def run(source=netlist):
+            return optimize_netlist(source.clone(), opt_level=1)
+
+        wall, report = _best_of(run, repeats)
+        total += wall
+        removed[f"{style}[{variant}]"] = report.cells_removed
+    return {
+        "wall_s": total,
+        "repeats": repeats,
+        "array": f"{size}x{size}",
+        "cells_removed": removed,
+    }
+
+
+def bench_campaign(smoke: bool) -> Dict[str, Dict[str, object]]:
+    """Cold and warm runs of a whole campaign through the chunked runner."""
+    name = "smoke" if smoke else "opt_levels"
+    campaign = build_campaign(name)
+    repeats = 3
+    cold = warm = float("inf")
+    for _ in range(repeats):
+        # Each cold repeat gets a fresh cache, a fresh (unwarmed) worker
+        # pool and cleared in-process memo caches; the warm run replays the
+        # same campaign against the cache the cold run just filled.
+        _drop_in_process_caches()
+        with tempfile.TemporaryDirectory() as tmp:
+            with CampaignRunner(ResultCache(tmp)) as runner:
+                start = time.perf_counter()
+                cold_result = runner.run(campaign)
+                cold = min(cold, time.perf_counter() - start)
+                start = time.perf_counter()
+                warm_result = runner.run(campaign)
+                warm = min(warm, time.perf_counter() - start)
+        assert cold_result.evaluated == len(campaign.jobs)
+        assert warm_result.hits == len(campaign.jobs)
+    base = {"campaign": name, "jobs": len(campaign.jobs)}
+    return {
+        f"campaign_{name}_cold": {"wall_s": cold, "repeats": repeats, **base},
+        f"campaign_{name}_warm": {"wall_s": warm, "repeats": repeats, **base},
+    }
+
+
+def run_benchmarks(smoke: bool) -> Dict[str, object]:
+    scenarios: Dict[str, object] = {}
+    scenarios["qm_fsm_tables"] = bench_qm_fsm_tables(smoke)
+    scenarios["qm_cover_selection"] = bench_qm_cover_selection(smoke)
+    scenarios["fsm_synthesis_effort"] = bench_fsm_synthesis_effort(smoke)
+    scenarios["opt_pipeline"] = bench_opt_pipeline(smoke)
+    scenarios.update(bench_campaign(smoke))
+    return {
+        "schema": SCHEMA,
+        "mode": "smoke" if smoke else "full",
+        "python": platform.python_version(),
+        "scenarios": scenarios,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized scenarios (seconds instead of a minute)",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_PR5.json",
+        help="destination JSON file (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_benchmarks(args.smoke)
+    for name, data in payload["scenarios"].items():
+        extra = ""
+        if "speedup" in data:
+            extra = (
+                f"  (reference {data['reference_wall_s']:8.3f} s, "
+                f"{data['speedup']:6.1f}x)"
+            )
+        print(f"{name:<28} {data['wall_s']:8.3f} s{extra}")
+    with open(args.output, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
