@@ -45,6 +45,7 @@ from repro.core.mapping_params import MappingError
 from repro.core.sradgen import generate
 from repro.engine.cache import ResultCache
 from repro.flow import FlowSpec, cli_overrides
+from repro.obs import enable_tracing, get_tracer, metrics, render_spans, span
 from repro.engine.runner import CampaignRunner, EvalRecord
 from repro.engine.sweep import (
     CAMPAIGNS,
@@ -116,6 +117,14 @@ def build_parser() -> argparse.ArgumentParser:
             "entry per key, then exit"
         ),
     )
+    source.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help=(
+            "print statistics about the --cache-dir result cache (entry "
+            "count, live vs stale lines, status breakdown) and exit"
+        ),
+    )
     parser.add_argument("--rows", type=int, help="memory array rows")
     parser.add_argument("--cols", type=int, help="memory array columns")
     parser.add_argument("--vhdl", help="write generated VHDL to this file")
@@ -183,6 +192,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet",
         action="store_true",
         help="suppress per-job campaign progress lines",
+    )
+    obs = parser.add_argument_group("observability options")
+    obs.add_argument(
+        "--trace",
+        action="store_true",
+        help=(
+            "enable hierarchical tracing and print the span tree to stderr "
+            "when the command finishes (equivalent to SRADGEN_TRACE=1)"
+        ),
+    )
+    obs.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="write the process metrics registry as JSON to FILE on exit",
     )
     return parser
 
@@ -257,6 +280,35 @@ def _compact_cache(args: argparse.Namespace, parser: argparse.ArgumentParser) ->
     return 0
 
 
+def _cache_stats(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """Print cache health figures: entries, stale lines, status mix."""
+    if not args.cache_dir:
+        parser.error("--cache-stats requires --cache-dir")
+    cache = ResultCache(args.cache_dir)
+    path = cache.path
+    total_lines = _count_cache_lines(path)
+    live = len(cache)
+    stale = total_lines - live
+    print(f"cache {path}")
+    print(f"  entries   {live} live record(s)")
+    print(
+        f"  lines     {total_lines} total ({live} live, {stale} superseded"
+        f"{'' if stale == 0 else ' -- run --compact-cache'})"
+    )
+    statuses: dict = {}
+    for record in cache.records():
+        status = record.get("status", "unknown")
+        statuses[status] = statuses.get(status, 0) + 1
+    for status in sorted(statuses):
+        print(f"  status    {status}: {statuses[status]}")
+    print(
+        f"  counters  hits={metrics.counter('cache.hits')} "
+        f"misses={metrics.counter('cache.misses')} "
+        f"loads={metrics.counter('cache.loads')}"
+    )
+    return 0
+
+
 def _run_campaign(args: argparse.Namespace) -> int:
     campaign = build_campaign(args.campaign)
     overrides = cli_overrides(args)
@@ -306,10 +358,42 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 1
 
 
+def _mode(args: argparse.Namespace) -> str:
+    """Short label for the selected mode, used as the root span detail."""
+    if args.list_campaigns:
+        return "list-campaigns"
+    if args.compact_cache:
+        return "compact-cache"
+    if args.cache_stats:
+        return "cache-stats"
+    if args.campaign:
+        return f"campaign {args.campaign}"
+    if args.explore:
+        return "explore"
+    return "generate"
+
+
 def _dispatch(argv: Optional[Sequence[str]]) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.trace:
+        enable_tracing()
+    try:
+        with span("sradgen", detail=_mode(args)):
+            return _execute(args, parser)
+    finally:
+        # Observability output is emitted even when the action fails:
+        # a partial trace of a crashed campaign is exactly when you want one.
+        if args.trace:
+            rendered = render_spans(get_tracer().roots)
+            if rendered:
+                print(rendered, file=sys.stderr)
+        if args.metrics_out:
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                handle.write(metrics.to_json() + "\n")
 
+
+def _execute(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     if args.list_campaigns:
         # Descriptions come from the registry, so listing never expands a grid.
         for name in available_campaigns():
@@ -318,6 +402,9 @@ def _dispatch(argv: Optional[Sequence[str]]) -> int:
 
     if args.compact_cache:
         return _compact_cache(args, parser)
+
+    if args.cache_stats:
+        return _cache_stats(args, parser)
 
     if args.campaign:
         return _run_campaign(args)

@@ -20,6 +20,8 @@ import json
 import os
 from typing import Dict, Iterator, List, Optional
 
+from repro.obs import metrics
+
 __all__ = ["ResultCache"]
 
 _RESULTS_FILE = "results.jsonl"
@@ -68,6 +70,8 @@ class ResultCache:
                 record = entry.get("record")
                 if isinstance(key, str) and isinstance(record, dict):
                     self._records[key] = record
+        metrics.incr("cache.loads")
+        metrics.gauge("cache.entries", len(self._records))
 
     def _append(self, key: str, record: dict) -> None:
         path = self.path
@@ -95,13 +99,17 @@ class ResultCache:
     def get(self, key: str) -> Optional[dict]:
         """Return the cached record for ``key``, or ``None`` on a miss."""
         self._load()
-        return self._records.get(key)
+        record = self._records.get(key)
+        metrics.incr("cache.hits" if record is not None else "cache.misses")
+        return record
 
     def put(self, key: str, record: dict) -> None:
         """Store ``record`` under ``key`` (persisted immediately)."""
         self._load()
         self._records[key] = record
         self._append(key, record)
+        metrics.incr("cache.appends")
+        metrics.gauge("cache.entries", len(self._records))
 
     # -------------------------------------------------------- housekeeping
     def records(self) -> List[dict]:
@@ -115,6 +123,7 @@ class ResultCache:
         path = self.path
         if path is None or not os.path.exists(path):
             return
+        metrics.incr("cache.compactions")
         tmp_path = path + ".tmp"
         with open(tmp_path, "w", encoding="utf-8") as handle:
             for key, record in self._records.items():

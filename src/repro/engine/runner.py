@@ -22,7 +22,7 @@ try:  # the process submodule is missing on platforms without multiprocessing
 except ImportError:  # pragma: no cover - environment dependent
     class BrokenProcessPool(Exception):
         """Placeholder; never raised when process pools are unavailable."""
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.mapping_params import MappingError
 from repro.engine.cache import ResultCache
@@ -30,6 +30,7 @@ from repro.engine.jobs import Campaign, EvalJob, build_design
 from repro.engine.pareto import pareto_min
 from repro.flow import opt_label_suffix
 from repro.hdl.netlist import NetlistError
+from repro.obs import Tracer, get_tracer, log, metrics, phase, set_tracer, span, tracing_enabled
 from repro.synth.power import estimate_power
 
 __all__ = ["CampaignResult", "CampaignRunner", "EvalRecord", "evaluate_job"]
@@ -56,6 +57,14 @@ class EvalRecord:
     at their zero defaults -- and out of the cached dictionary form -- for
     jobs that do not opt in, so pre-optimization cache entries round-trip
     unchanged.
+
+    ``phase_timings`` is the opt-in flow-profiling breakdown: stage name to
+    wall seconds (``job.pattern``, ``job.mapping``, ``flow.timing``, ...),
+    populated only while tracing is enabled.  Like ``cached`` it is
+    *volatile* evaluation metadata, never part of the cached dictionary
+    form: timings differ run to run, so persisting them would break the
+    byte-identical cache/JSONL invariant PRs 2-5 established -- records
+    written with tracing on and off are indistinguishable on disk.
     """
 
     workload: str
@@ -78,6 +87,7 @@ class EvalRecord:
     note: str = ""
     duration_s: float = 0.0
     cached: bool = False
+    phase_timings: Dict[str, float] = field(default_factory=dict)
 
     @property
     def has_power(self) -> bool:
@@ -93,15 +103,20 @@ class EvalRecord:
         )
 
     def to_dict(self) -> dict:
-        """Plain-dict form stored in the result cache (``cached`` excluded).
+        """Plain-dict form stored in the result cache (``cached`` and
+        ``phase_timings`` excluded).
 
         The power fields are omitted when the study did not run, and the
         optimization fields when the job ran at the default ``opt_level=0``,
         so cache entries for jobs predating either feature keep their exact
         original format (and NaN never has to survive a JSON round-trip).
+        ``phase_timings`` is dropped unconditionally: profiling data is
+        volatile, and cache records must stay byte-identical whether or not
+        tracing was on when they were evaluated.
         """
         data = asdict(self)
         data.pop("cached")
+        data.pop("phase_timings")
         if not self.has_power:
             data.pop("energy_per_access_fj")
             data.pop("avg_power_uw")
@@ -134,9 +149,34 @@ def _warm_worker() -> None:
     assert primitives.PRIMITIVES and cell_library.LIBRARIES
 
 
-def _evaluate_batch(jobs: List[EvalJob]) -> List[EvalRecord]:
-    """Evaluate a chunk of jobs in one worker call (amortises pickling)."""
-    return [evaluate_job(job) for job in jobs]
+#: Shape of one worker batch result: the records, the serialised span trees
+#: recorded while evaluating them (empty unless the parent traces), and the
+#: worker-side metrics counter delta for the batch.
+BatchResult = Tuple[List[EvalRecord], List[Dict[str, Any]], Dict[str, Any]]
+
+
+def _evaluate_batch(jobs: List[EvalJob], collect_spans: bool = False) -> BatchResult:
+    """Evaluate a chunk of jobs in one worker call (amortises pickling).
+
+    This is the worker-side telemetry collector: metric increments made
+    while evaluating the batch are snapshotted and shipped back as a delta,
+    and -- when the dispatching parent traces (``collect_spans``) -- the
+    batch runs under a fresh tracer whose span trees are serialised into the
+    return value so the parent can re-parent them under its dispatch span.
+    """
+    before = metrics.snapshot()
+    if collect_spans:
+        previous = get_tracer()
+        tracer = set_tracer(Tracer(enabled=True))
+        try:
+            records = [evaluate_job(job) for job in jobs]
+        finally:
+            set_tracer(previous)
+        spans = [root.to_dict() for root in tracer.roots]
+    else:
+        records = [evaluate_job(job) for job in jobs]
+        spans = []
+    return records, spans, metrics.counters_since(before)
 
 
 def evaluate_job(job: EvalJob) -> EvalRecord:
@@ -145,9 +185,16 @@ def evaluate_job(job: EvalJob) -> EvalRecord:
     Never raises: inapplicable architectures come back as ``skipped`` records
     and unexpected failures as ``error`` records, so one bad grid point
     cannot take down a campaign (or a worker process).
+
+    With tracing enabled the evaluation runs under an ``evaluate_job`` span
+    with one child span per phase (pattern build, mapping, synthesis stages,
+    power), and the same breakdown lands on ``EvalRecord.phase_timings``.
     """
     start = time.perf_counter()
     spec = job.spec
+    # Phase wall-clock attribution is opt-in (it rides the tracing switch);
+    # ``None`` keeps the disabled path allocation-free.
+    timings: Optional[Dict[str, float]] = {} if tracing_enabled() else None
     base = dict(
         workload=job.workload,
         rows=job.rows,
@@ -159,59 +206,75 @@ def evaluate_job(job: EvalJob) -> EvalRecord:
         # Part of the base so skipped/error records keep the grid axis too.
         opt_level=spec.opt_level,
     )
-    try:
-        pattern = job.pattern()
-        if job.style == "FSM" and pattern.trip_count > spec.max_fsm_states:
+    with span("evaluate_job", detail=job.label):
+        try:
+            with phase("job.pattern", timings):
+                pattern = job.pattern()
+            if job.style == "FSM" and pattern.trip_count > spec.max_fsm_states:
+                return EvalRecord(
+                    status=SKIPPED,
+                    note=(
+                        f"sequence length {pattern.trip_count} exceeds "
+                        f"max_fsm_states={spec.max_fsm_states}"
+                    ),
+                    duration_s=time.perf_counter() - start,
+                    phase_timings=dict(timings or {}),
+                    **base,
+                )
+            with phase("job.mapping", timings):
+                design = build_design(pattern, job.style, job.variant)
+            with phase("job.synthesize", timings):
+                result = design.synthesize(spec=spec)
+            if timings is not None:
+                # Fold the flow's per-stage breakdown (elaborate, opt,
+                # buffering, timing, ...) in next to the job-level phases.
+                timings.update(result.stage_timings)
+            power: Dict[str, float] = {}
+            if spec.power_cycles:
+                # Measure on the buffered working copy the area/delay figures
+                # came from, so inserted buffer trees pay their switching
+                # energy.
+                with phase("job.power", timings):
+                    report = estimate_power(
+                        result.netlist,
+                        library=spec.resolve_library(),
+                        cycles=spec.power_cycles,
+                    )
+                power = {
+                    "energy_per_access_fj": report.energy_per_access_fj,
+                    "avg_power_uw": report.average_power_uw,
+                }
+        except (MappingError, NetlistError, ValueError) as error:
             return EvalRecord(
                 status=SKIPPED,
-                note=(
-                    f"sequence length {pattern.trip_count} exceeds "
-                    f"max_fsm_states={spec.max_fsm_states}"
-                ),
+                note=str(error),
                 duration_s=time.perf_counter() - start,
+                phase_timings=dict(timings or {}),
                 **base,
             )
-        design = build_design(pattern, job.style, job.variant)
-        result = design.synthesize(spec=spec)
-        power: Dict[str, float] = {}
-        if spec.power_cycles:
-            # Measure on the buffered working copy the area/delay figures
-            # came from, so inserted buffer trees pay their switching energy.
-            report = estimate_power(
-                result.netlist, library=spec.resolve_library(), cycles=spec.power_cycles
+        except Exception:  # pragma: no cover - defensive; surfaced in the record
+            return EvalRecord(
+                status=ERROR,
+                note=traceback.format_exc(limit=3),
+                duration_s=time.perf_counter() - start,
+                phase_timings=dict(timings or {}),
+                **base,
             )
-            power = {
-                "energy_per_access_fj": report.energy_per_access_fj,
-                "avg_power_uw": report.average_power_uw,
-            }
-    except (MappingError, NetlistError, ValueError) as error:
         return EvalRecord(
-            status=SKIPPED,
-            note=str(error),
+            status=OK,
+            delay_ns=result.delay_ns,
+            area_cells=result.area_cells,
+            flip_flops=result.area.flip_flop_count,
+            total_cells=sum(result.area.cell_counts.values()),
+            buffers_inserted=result.buffers_inserted,
+            opt_cells_removed=(
+                result.opt_report.cells_removed if result.opt_report else 0
+            ),
             duration_s=time.perf_counter() - start,
+            phase_timings=dict(timings or {}),
+            **power,
             **base,
         )
-    except Exception:  # pragma: no cover - defensive; surfaced in the record
-        return EvalRecord(
-            status=ERROR,
-            note=traceback.format_exc(limit=3),
-            duration_s=time.perf_counter() - start,
-            **base,
-        )
-    return EvalRecord(
-        status=OK,
-        delay_ns=result.delay_ns,
-        area_cells=result.area_cells,
-        flip_flops=result.area.flip_flop_count,
-        total_cells=sum(result.area.cell_counts.values()),
-        buffers_inserted=result.buffers_inserted,
-        opt_cells_removed=(
-            result.opt_report.cells_removed if result.opt_report else 0
-        ),
-        duration_s=time.perf_counter() - start,
-        **power,
-        **base,
-    )
 
 
 GroupKey = Tuple[str, int, int, str]  # (workload, rows, cols, library)
@@ -389,31 +452,37 @@ class CampaignRunner:
         # reaches `total`.
         pending_occurrences: Dict[str, int] = {}
 
-        for job in campaign.jobs:
-            cached = None if force else self.cache.get(job.key)
-            if cached is not None:
-                record = EvalRecord.from_dict(cached, cached=True)
-                by_key[job.key] = record
-                done += 1
-                if self.progress:
-                    self.progress(record, done, total)
-            else:
-                if job.key not in pending_occurrences:
-                    pending.append(job)
-                    pending_occurrences[job.key] = 0
-                pending_occurrences[job.key] += 1
+        with span("campaign.run", detail=campaign.name) as run_span:
+            for job in campaign.jobs:
+                cached = None if force else self.cache.get(job.key)
+                if cached is not None:
+                    record = EvalRecord.from_dict(cached, cached=True)
+                    by_key[job.key] = record
+                    done += 1
+                    if self.progress:
+                        self.progress(record, done, total)
+                else:
+                    if job.key not in pending_occurrences:
+                        pending.append(job)
+                        pending_occurrences[job.key] = 0
+                    pending_occurrences[job.key] += 1
 
-        for record in self._evaluate(pending):
-            # Error records are transient (a worker OOM, say) -- caching them
-            # would replay the failure forever; only determinate outcomes
-            # (metrics, or a deterministic inapplicability) are persisted.
-            if record.status != ERROR:
-                self.cache.put(record.key, record.to_dict())
-            by_key[record.key] = record
-            for _ in range(pending_occurrences.get(record.key, 1)):
-                done += 1
-                if self.progress:
-                    self.progress(record, done, total)
+            run_span.add("jobs", total)
+            run_span.add("cache_hits", done)
+            run_span.add("pending", len(pending))
+            with span("campaign.dispatch", detail=f"{len(pending)} pending job(s)"):
+                for record in self._evaluate(pending):
+                    # Error records are transient (a worker OOM, say) --
+                    # caching them would replay the failure forever; only
+                    # determinate outcomes (metrics, or a deterministic
+                    # inapplicability) are persisted.
+                    if record.status != ERROR:
+                        self.cache.put(record.key, record.to_dict())
+                    by_key[record.key] = record
+                    for _ in range(pending_occurrences.get(record.key, 1)):
+                        done += 1
+                        if self.progress:
+                            self.progress(record, done, total)
 
         records = [by_key[job.key] for job in campaign.jobs]
         return CampaignResult(campaign=campaign.name, records=records)
@@ -437,7 +506,12 @@ class CampaignRunner:
                 # Sandboxes without fork support or /dev/shm land here; the
                 # campaign still completes, just serially.  The broken pool
                 # is discarded so a later run() can try a fresh one.
-                print(f"process pool unavailable ({error}); falling back to serial")
+                metrics.incr("campaign.pool_fallbacks")
+                log.warning(
+                    "process pool unavailable; falling back to serial",
+                    component="runner",
+                    error=str(error),
+                )
                 self._discard_pool()
         for job in jobs:
             if job.key not in produced:
@@ -446,12 +520,20 @@ class CampaignRunner:
     def _evaluate_parallel(self, jobs: List[EvalJob]):
         pool = self._get_pool()
         batches = self._chunked(jobs)
+        # Whether workers should trace is decided once at dispatch: each
+        # batch runs under its own worker-side tracer and ships the span
+        # trees back for re-parenting under the current dispatch span.
+        trace_workers = tracing_enabled()
         future_jobs = {
-            pool.submit(_evaluate_batch, batch): batch for batch in batches
+            pool.submit(_evaluate_batch, batch, trace_workers): batch
+            for batch in batches
         }
+        metrics.incr("campaign.batches_dispatched", len(batches))
+        if batches:
+            metrics.gauge("campaign.chunk_size", max(len(b) for b in batches))
         for future in concurrent.futures.as_completed(future_jobs):
             try:
-                records = future.result()
+                records, span_dicts, counter_delta = future.result()
             except (OSError, BrokenProcessPool):
                 # Pool-level breakage: every remaining future is doomed too;
                 # escalate so _evaluate falls back to serial in-process.
@@ -467,10 +549,18 @@ class CampaignRunner:
                 # inapplicability as "skipped", mirroring explore(),
                 # anything else as a transient (uncached) "error".
                 batch = future_jobs[future]
-                print(
-                    f"worker batch failed ({type(error).__name__}: {error}); "
-                    f"re-evaluating {len(batch)} job(s) in-process"
+                metrics.incr("campaign.batch_failures")
+                log.warning(
+                    "worker batch failed; re-evaluating in-process",
+                    component="runner",
+                    error=f"{type(error).__name__}: {error}",
+                    jobs=len(batch),
                 )
                 records = [evaluate_job(job) for job in batch]
+                span_dicts, counter_delta = [], {}
+            if counter_delta:
+                metrics.merge_counters(counter_delta)
+            if span_dicts:
+                get_tracer().adopt(span_dicts)
             for record in records:
                 yield record

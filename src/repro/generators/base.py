@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 
 from repro.flow import FlowSpec, resolve_spec
 from repro.hdl.netlist import Netlist
+from repro.obs import phase, tracing_enabled
 from repro.synth.flow import run_synthesis_flow
 from repro.synth.report import SynthesisResult
 from repro.workloads.sequences import AddressSequence
@@ -117,7 +118,13 @@ class AddressGeneratorDesign(abc.ABC):
             max_fanout=max_fanout,
             opt_level=opt_level,
         )
-        netlist = self.netlist
+        # Elaboration ("logic synthesis": building the structural netlist,
+        # including any FSM minimisation) is attributed as its own flow
+        # stage; note the cached-netlist fast path makes repeat synthesis
+        # report a near-zero elaborate time, which is itself informative.
+        timings = {} if tracing_enabled() else None
+        with phase("flow.elaborate", timings):
+            netlist = self.netlist
         info: Dict[str, object] = {
             "style": self.style,
             "workload": self.sequence.name,
@@ -126,4 +133,7 @@ class AddressGeneratorDesign(abc.ABC):
             "accesses": self.sequence.length,
         }
         info.update(metadata or {})
-        return run_synthesis_flow(netlist, spec=spec, name=self.name, metadata=info)
+        result = run_synthesis_flow(netlist, spec=spec, name=self.name, metadata=info)
+        if timings:
+            result.stage_timings.update(timings)
+        return result

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.hdl.netlist import Net, Netlist
 from repro.hdl.primitives import compile_comb, compile_flop
 from repro.hdl.simulator import SimulationError
+from repro.obs import metrics
 
 __all__ = ["CompiledSimulator"]
 
@@ -101,6 +102,12 @@ class CompiledSimulator:
         # exactly like the reference snapshot comparison).
         self._counting = False
         self._interval_base: Dict[int, int] = {}
+
+        # Settle-event accounting: `_drain` tallies processed ops into a
+        # plain attribute (the event loop stays registry-free) and the public
+        # entry points flush the delta to the metrics registry.
+        self._settle_events = 0
+        self._flushed_events = 0
 
         # Initial full settle, mirroring the reference constructor.
         for idx in range(len(self._op_fn)):
@@ -174,6 +181,7 @@ class CompiledSimulator:
     def settle(self) -> None:
         """Propagate any pending net changes through combinational logic."""
         self._drain()
+        self._flush_events()
 
     def step(self, cycles: int = 1, **ports: int) -> None:
         """Advance the simulation by ``cycles`` rising clock edges.
@@ -193,6 +201,8 @@ class CompiledSimulator:
             self._drain()
             self._clock()
         self._drain()
+        metrics.incr("sim.compiled.cycles", cycles)
+        self._flush_events()
         for slot, value in previous.items():
             self._write_net(slot, value)
 
@@ -220,6 +230,8 @@ class CompiledSimulator:
             self._flush_interval()
         finally:
             self._counting = False
+        metrics.incr("sim.compiled.cycles", cycles)
+        self._flush_events()
 
     def reset(self, reset_port: str = "reset", cycles: int = 1) -> None:
         """Pulse a synchronous reset input for ``cycles`` clock edges."""
@@ -295,9 +307,11 @@ class CompiledSimulator:
         op_fanout = self._op_fanout
         counting = self._counting
         base = self._interval_base
+        processed = 0
         while heap:
             idx = heappop(heap)
             pending[idx] = False
+            processed += 1
             new = op_fn[idx](values)
             out = op_out[idx]
             if new != values[out]:
@@ -308,6 +322,13 @@ class CompiledSimulator:
                     if not pending[dep]:
                         pending[dep] = True
                         heappush(heap, dep)
+        self._settle_events += processed
+
+    def _flush_events(self) -> None:
+        delta = self._settle_events - self._flushed_events
+        if delta:
+            metrics.incr("sim.compiled.settle_events", delta)
+            self._flushed_events = self._settle_events
 
     def _clock(self) -> None:
         values = self._values

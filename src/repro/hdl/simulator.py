@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.hdl.netlist import Cell, Net, Netlist
 from repro.hdl.primitives import combinational_eval, flop_next_state
+from repro.obs import metrics
 
 __all__ = ["Simulator", "SimulationError"]
 
@@ -116,6 +117,9 @@ class Simulator:
     # ------------------------------------------------------------- evaluation
     def settle(self) -> None:
         """Propagate flip-flop outputs and inputs through combinational logic."""
+        # One aggregate incr per settle (not per cell): the reference
+        # simulator re-evaluates its whole topological order each settle.
+        metrics.incr("sim.reference.settle_events", len(self._order))
         for flop in self._flops:
             q_net = flop.pins.get("Q")
             if q_net is not None:
@@ -137,6 +141,7 @@ class Simulator:
         e.g. ``sim.step(next=1, reset=0)``; their previous values are
         restored before returning.
         """
+        metrics.incr("sim.reference.cycles", cycles)
         previous: Dict[str, int] = {}
         for port, value in ports.items():
             previous[port] = self.peek(port)

@@ -1,0 +1,84 @@
+"""Structured stderr logging for the stack.
+
+Campaign progress lines and reports are the product and stay on stdout;
+*diagnostics* -- pool fallbacks, worker batch failures, trace renderings --
+belong on stderr so ``sradgen --campaign ... | tee results.txt`` pipes clean
+output.  This module owns the one logger the repo uses for those
+diagnostics: ``repro.obs``, writing compact ``key=value``-structured lines
+to whatever ``sys.stderr`` currently is (so test harnesses capturing stderr
+see the messages too).
+
+Usage::
+
+    from repro.obs import log
+    log.warning("process pool unavailable; falling back to serial",
+                component="runner", error=str(error))
+
+renders as::
+
+    [sradgen] WARNING process pool unavailable; falling back to serial component=runner error=...
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Any
+
+__all__ = ["LOGGER_NAME", "debug", "get_logger", "info", "warning"]
+
+LOGGER_NAME = "repro.obs"
+
+
+class _CurrentStderrHandler(logging.StreamHandler):
+    """StreamHandler bound to *current* ``sys.stderr`` at emit time.
+
+    ``logging.StreamHandler()`` captures ``sys.stderr`` once at construction;
+    resolving it per record keeps the logger honest under stream redirection
+    (pytest's capsys, shells re-wiring fd 2 mid-run).
+    """
+
+    def __init__(self) -> None:
+        logging.Handler.__init__(self)
+
+    @property
+    def stream(self):
+        return sys.stderr
+
+    @stream.setter
+    def stream(self, value) -> None:
+        """Ignored: the handler always follows ``sys.stderr``."""
+
+
+def get_logger() -> logging.Logger:
+    """The configured ``repro.obs`` logger (handler installed on first use)."""
+    logger = logging.getLogger(LOGGER_NAME)
+    if not logger.handlers:
+        handler = _CurrentStderrHandler()
+        handler.setFormatter(logging.Formatter("[sradgen] %(levelname)s %(message)s"))
+        logger.addHandler(handler)
+        logger.setLevel(logging.INFO)
+        logger.propagate = False
+    return logger
+
+
+def _format(message: str, fields: dict) -> str:
+    if not fields:
+        return message
+    suffix = " ".join(f"{key}={value}" for key, value in fields.items())
+    return f"{message} {suffix}"
+
+
+def debug(message: str, **fields: Any) -> None:
+    """Emit a DEBUG diagnostic with ``key=value`` structured fields."""
+    get_logger().debug(_format(message, fields))
+
+
+def info(message: str, **fields: Any) -> None:
+    """Emit an INFO diagnostic with ``key=value`` structured fields."""
+    get_logger().info(_format(message, fields))
+
+
+def warning(message: str, **fields: Any) -> None:
+    """Emit a WARNING diagnostic with ``key=value`` structured fields."""
+    get_logger().warning(_format(message, fields))

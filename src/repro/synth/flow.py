@@ -13,6 +13,7 @@ from typing import Dict, Optional
 
 from repro.flow import FlowSpec, resolve_spec
 from repro.hdl.netlist import Netlist
+from repro.obs import phase, tracing_enabled
 from repro.synth.area import area_report
 from repro.synth.buffering import insert_buffer_trees
 from repro.synth.opt import optimize_netlist
@@ -64,17 +65,27 @@ def run_synthesis_flow(
         opt_level=opt_level,
     )
     cell_library = spec.resolve_library()
-    netlist.validate()
-    working_copy = netlist.clone()
+    # Per-stage profiling rides the tracing switch: every stage always runs
+    # under a (free when disabled) span, and the wall-clock breakdown is
+    # collected only when tracing is on.
+    timings: Optional[Dict[str, float]] = {} if tracing_enabled() else None
+    with phase("flow.validate", timings):
+        netlist.validate()
+        working_copy = netlist.clone()
     opt_report = None
     if spec.opt_level:
-        opt_report = optimize_netlist(working_copy, opt_level=spec.opt_level)
-        # Cheap invariant check: optimization must hand buffering/timing a
-        # structurally sound netlist or every figure downstream is garbage.
-        working_copy.validate()
-    buffers = insert_buffer_trees(working_copy, max_fanout=spec.max_fanout)
-    timing = timing_report(working_copy, cell_library)
-    area = area_report(working_copy, cell_library)
+        with phase("flow.opt", timings):
+            opt_report = optimize_netlist(working_copy, opt_level=spec.opt_level)
+            # Cheap invariant check: optimization must hand buffering/timing
+            # a structurally sound netlist or every figure downstream is
+            # garbage.
+            working_copy.validate()
+    with phase("flow.buffer", timings):
+        buffers = insert_buffer_trees(working_copy, max_fanout=spec.max_fanout)
+    with phase("flow.timing", timings):
+        timing = timing_report(working_copy, cell_library)
+    with phase("flow.area", timings):
+        area = area_report(working_copy, cell_library)
     return SynthesisResult(
         name=name or netlist.name,
         area=area,
@@ -83,4 +94,5 @@ def run_synthesis_flow(
         netlist=working_copy,
         opt_report=opt_report,
         metadata=dict(metadata or {}),
+        stage_timings=timings or {},
     )

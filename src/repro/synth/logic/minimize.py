@@ -21,6 +21,7 @@ from dataclasses import dataclass, replace
 from functools import lru_cache
 from typing import Callable, Dict, FrozenSet, List, Sequence, Set, Tuple
 
+from repro.obs import metrics, span
 from repro.synth.logic.truth_table import TruthTable
 
 __all__ = ["Implicant", "MinimizationStats", "minimize"]
@@ -127,8 +128,20 @@ def minimize(
     a repeat costs a dict lookup instead of a fresh minimisation.  Each call
     still returns fresh ``cover``/``stats`` objects carrying exactly the
     values a cold run would produce, so effort accounting is unchanged.
+
+    Every call folds its :class:`MinimizationStats` into the process metrics
+    registry (``qm.*`` counters) and runs under a ``qm.minimize`` span, so
+    minimisation effort is attributable after the fact.
     """
-    cover, stats = _minimize_cached(table, max_exact_inputs)
+    with span("qm.minimize", detail=f"{table.num_inputs} input(s)") as qm_span:
+        cover, stats = _minimize_cached(table, max_exact_inputs)
+        qm_span.add("merge_operations", stats.merge_operations)
+        qm_span.add("prime_implicants", stats.prime_implicants)
+    metrics.incr("qm.calls")
+    metrics.incr("qm.minterms", stats.minterms)
+    metrics.incr("qm.merge_operations", stats.merge_operations)
+    metrics.incr("qm.prime_implicants", stats.prime_implicants)
+    metrics.incr("qm.cover_size", stats.cover_size)
     return list(cover), replace(stats)
 
 

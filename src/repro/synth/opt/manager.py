@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.hdl.netlist import Netlist
+from repro.obs import metrics, span
 from repro.synth.opt.passes import (
     BufferCollapsePass,
     ConstantFoldPass,
@@ -96,17 +97,30 @@ class PassManager:
         """Optimize ``netlist`` in place and return the per-pass report."""
         report = OptReport(original_cells=len(netlist.cells))
         aggregate = [PassStats(p.name) for p in self.passes]
-        for _ in range(self.max_rounds):
-            round_changed = False
-            for opt_pass, total in zip(self.passes, aggregate):
-                stats = opt_pass.run(netlist)
-                total.absorb(stats)
-                round_changed = round_changed or stats.changed
-            report.rounds += 1
-            if not round_changed:
-                break
-        report.passes = aggregate
-        report.final_cells = len(netlist.cells)
+        with span("opt.pipeline", detail=netlist.name) as pipeline_span:
+            for _ in range(self.max_rounds):
+                round_changed = False
+                for opt_pass, total in zip(self.passes, aggregate):
+                    with span(f"opt.{opt_pass.name}"):
+                        stats = opt_pass.run(netlist)
+                    total.absorb(stats)
+                    round_changed = round_changed or stats.changed
+                report.rounds += 1
+                if not round_changed:
+                    break
+            report.passes = aggregate
+            report.final_cells = len(netlist.cells)
+            pipeline_span.add("rounds", report.rounds)
+            pipeline_span.add("cells_removed", report.cells_removed)
+        # Per-pass PassStats fold into the metrics registry once per run
+        # (aggregate, never per-sweep), so campaign-wide optimization effort
+        # is visible without touching the hot inner loops.
+        metrics.incr("opt.runs")
+        metrics.incr("opt.rounds", report.rounds)
+        metrics.incr("opt.cells_removed", report.cells_removed)
+        for stats in aggregate:
+            metrics.incr(f"opt.pass.{stats.name}.removed", stats.removed)
+            metrics.incr(f"opt.pass.{stats.name}.iterations", stats.iterations)
         return report
 
 

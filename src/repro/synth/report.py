@@ -42,6 +42,10 @@ class SynthesisResult:
     metadata:
         Free-form extra data (sequence length, array shape, generator style,
         mapping parameters) recorded by the experiment harnesses.
+    stage_timings:
+        Flow-profiling breakdown: stage name (``flow.elaborate``,
+        ``flow.opt``, ``flow.timing``, ...) to wall seconds.  Populated only
+        while tracing is enabled (:mod:`repro.obs`); empty otherwise.
     """
 
     name: str
@@ -51,6 +55,7 @@ class SynthesisResult:
     netlist: Optional[Netlist] = None
     opt_report: Optional[OptReport] = None
     metadata: Dict[str, object] = field(default_factory=dict)
+    stage_timings: Dict[str, float] = field(default_factory=dict)
 
     @property
     def delay_ns(self) -> float:

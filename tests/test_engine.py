@@ -236,7 +236,7 @@ class _FakePool:
         self.fail = fail
         self.submissions = []
 
-    def submit(self, fn, batch):
+    def submit(self, fn, batch, *args):
         import concurrent.futures
 
         self.submissions.append(list(batch))
@@ -245,7 +245,7 @@ class _FakePool:
         if errors:
             future.set_exception(errors[0])
         else:
-            future.set_result(fn(batch))
+            future.set_result(fn(batch, *args))
         return future
 
     def shutdown(self, wait=True, cancel_futures=False):
@@ -269,7 +269,11 @@ def test_one_failing_batch_does_not_abort_the_campaign(tmp_path, capsys):
     )
     result = runner.run(campaign)
     assert len(result.records) == len(campaign.jobs)
-    assert "worker exploded" in capsys.readouterr().out
+    # The diagnostic is structured logging on stderr, never stdout (stdout
+    # is reserved for the report a caller might be piping somewhere).
+    captured = capsys.readouterr()
+    assert "worker exploded" in captured.err
+    assert captured.out == ""
     # Every job of the failed batch was re-evaluated in-process: the whole
     # campaign completes with real statuses, nothing marked from the crash.
     statuses = {r.key: r.status for r in result.records}
