@@ -30,6 +30,11 @@ Usage examples::
 
     # Drop superseded lines from a long-lived campaign cache
     sradgen --compact-cache --cache-dir .sradgen_cache
+
+    # Long-running campaign service; any number of clients share its
+    # scheduler, cache and in-flight dedup table
+    sradgen --serve --cache-dir .svc_cache --port 8787
+    sradgen --campaign smoke --connect 127.0.0.1:8787
 """
 
 from __future__ import annotations
@@ -43,7 +48,7 @@ from typing import List, Optional, Sequence
 from repro.analysis.explorer import explore
 from repro.core.mapping_params import MappingError
 from repro.core.sradgen import generate
-from repro.engine.cache import ResultCache
+from repro.engine.cache import CacheLockTimeout, ResultCache
 from repro.flow import FlowSpec, cli_overrides
 from repro.obs import enable_tracing, get_tracer, metrics, render_spans, span
 from repro.engine.runner import CampaignRunner, EvalRecord
@@ -125,6 +130,15 @@ def build_parser() -> argparse.ArgumentParser:
             "count, live vs stale lines, status breakdown) and exit"
         ),
     )
+    source.add_argument(
+        "--serve",
+        action="store_true",
+        help=(
+            "run the campaign service: a long-lived JSON-lines server that "
+            "evaluates campaign/explore requests from many clients over one "
+            "shared scheduler and cache (see --host/--port/--cache-dir)"
+        ),
+    )
     parser.add_argument("--rows", type=int, help="memory array rows")
     parser.add_argument("--cols", type=int, help="memory array columns")
     parser.add_argument("--vhdl", help="write generated VHDL to this file")
@@ -173,6 +187,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="persistent result-cache directory (campaigns resume from it)",
     )
     engine.add_argument(
+        "--cache-backend",
+        choices=["jsonl", "sharded"],
+        default=None,
+        help=(
+            "cache write layout: 'jsonl' appends to one results.jsonl "
+            "(single writer; the default for CLI runs), 'sharded' gives "
+            "every writer its own segment file so concurrent processes can "
+            "share a cache dir (the default for --serve).  Reads always "
+            "see both layouts."
+        ),
+    )
+    engine.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        help=(
+            "run --campaign against a remote sradgen --serve instance "
+            "instead of evaluating locally"
+        ),
+    )
+    engine.add_argument(
         "--workers",
         type=int,
         default=None,
@@ -192,6 +226,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet",
         action="store_true",
         help="suppress per-job campaign progress lines",
+    )
+    service = parser.add_argument_group("service options")
+    service.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface for --serve to bind (default 127.0.0.1)",
+    )
+    service.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="port for --serve to bind (default 0: pick a free port and print it)",
     )
     obs = parser.add_argument_group("observability options")
     obs.add_argument(
@@ -257,25 +303,39 @@ def _format_progress(record: EvalRecord, done: int, total: int) -> str:
     )
 
 
-def _count_cache_lines(path: str) -> int:
-    if not os.path.exists(path):
-        return 0
-    with open(path, "r", encoding="utf-8") as handle:
-        return sum(1 for line in handle if line.strip())
+def _count_cache_lines(cache: ResultCache) -> int:
+    """Non-empty lines across every data file (base + writer segments)."""
+    total = 0
+    for path in cache.data_paths():
+        if not os.path.exists(path):
+            continue
+        with open(path, "r", encoding="utf-8") as handle:
+            total += sum(1 for line in handle if line.strip())
+    return total
 
 
 def _compact_cache(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
-    """Rewrite the cache file with only live entries; report the shrink."""
+    """Merge segments and drop superseded lines; report the shrink.
+
+    Compaction takes the directory's lock file, so it is safe to run while
+    a service (or another CLI run using the sharded backend) is appending.
+    """
     if not args.cache_dir:
         parser.error("--compact-cache requires --cache-dir")
     cache = ResultCache(args.cache_dir)
     path = cache.path
-    before = _count_cache_lines(path)
-    cache.compact()
-    after = _count_cache_lines(path)
+    before = _count_cache_lines(cache)
+    segments = sum(1 for p in cache.data_paths() if p != path)
+    try:
+        cache.compact()
+    except CacheLockTimeout as error:
+        print(f"cannot compact: {error}", file=sys.stderr)
+        return 1
+    after = _count_cache_lines(cache)
+    merged = f", {segments} segment(s) merged" if segments else ""
     print(
         f"compacted {path}: {before} -> {after} lines "
-        f"({len(cache)} live records, {before - after} superseded dropped)"
+        f"({len(cache)} live records, {before - after} superseded dropped{merged})"
     )
     return 0
 
@@ -286,15 +346,18 @@ def _cache_stats(args: argparse.Namespace, parser: argparse.ArgumentParser) -> i
         parser.error("--cache-stats requires --cache-dir")
     cache = ResultCache(args.cache_dir)
     path = cache.path
-    total_lines = _count_cache_lines(path)
+    total_lines = _count_cache_lines(cache)
     live = len(cache)
     stale = total_lines - live
+    segments = sum(1 for p in cache.data_paths() if p != path)
     print(f"cache {path}")
     print(f"  entries   {live} live record(s)")
     print(
         f"  lines     {total_lines} total ({live} live, {stale} superseded"
         f"{'' if stale == 0 else ' -- run --compact-cache'})"
     )
+    if segments:
+        print(f"  segments  {segments} writer segment file(s) -- run --compact-cache to merge")
     statuses: dict = {}
     for record in cache.records():
         status = record.get("status", "unknown")
@@ -307,6 +370,17 @@ def _cache_stats(args: argparse.Namespace, parser: argparse.ArgumentParser) -> i
         f"loads={metrics.counter('cache.loads')}"
     )
     return 0
+
+
+def _parse_address(text: str) -> tuple:
+    """Split a ``HOST:PORT`` --connect argument."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise SystemExit(f"--connect expects HOST:PORT, got {text!r}")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise SystemExit(f"--connect expects a numeric port, got {port!r}") from None
 
 
 def _run_campaign(args: argparse.Namespace) -> int:
@@ -325,26 +399,74 @@ def _run_campaign(args: argparse.Namespace) -> int:
         )
         settings = ", ".join(f"{k}={v}" for k, v in sorted(overrides.items()))
         print(f"overriding flow settings: every job runs with {settings}")
-    cache = ResultCache(args.cache_dir)
-    workers = 0 if args.serial else args.workers
 
     def progress(record: EvalRecord, done: int, total: int) -> None:
         print(_format_progress(record, done, total))
 
-    print(
-        f"campaign {args.campaign!r}: {len(campaign)} jobs, "
-        f"cache {args.cache_dir or '(in-memory)'}"
-    )
-    runner = CampaignRunner(
-        cache,
-        workers=workers,
-        progress=None if args.quiet else progress,
-    )
-    result = runner.run(campaign, force=args.force)
+    if args.connect:
+        # Remote path: ship the (possibly overridden) grid to a running
+        # sradgen --serve instance; the spec dictionaries on the wire
+        # reproduce the exact job keys, so the server's cache behaves as if
+        # the campaign ran locally.
+        from repro.service.client import run_campaign_remote
+
+        host, port = _parse_address(args.connect)
+        print(f"campaign {args.campaign!r}: {len(campaign)} jobs, remote {host}:{port}")
+        result = run_campaign_remote(
+            host,
+            port,
+            campaign,
+            force=args.force,
+            progress=None if args.quiet else progress,
+        )
+    else:
+        cache = ResultCache(args.cache_dir, backend=args.cache_backend or "jsonl")
+        workers = 0 if args.serial else args.workers
+        print(
+            f"campaign {args.campaign!r}: {len(campaign)} jobs, "
+            f"cache {args.cache_dir or '(in-memory)'}"
+        )
+        with CampaignRunner(
+            cache,
+            workers=workers,
+            progress=None if args.quiet else progress,
+        ) as runner:
+            result = runner.run(campaign, force=args.force)
     print()
     print(result.describe())
     errors = sum(1 for record in result.records if record.status == "error")
     return 1 if errors else 0
+
+
+def _serve(args: argparse.Namespace) -> int:
+    """Run the campaign service until SIGINT/SIGTERM (drains, then exits)."""
+    import asyncio
+    import signal
+
+    from repro.service.server import CampaignService
+
+    service = CampaignService(
+        cache_dir=args.cache_dir,
+        cache_backend=args.cache_backend or "sharded",
+        workers=0 if args.serial else args.workers,
+    )
+
+    async def _main() -> None:
+        host, port = await service.start(args.host, args.port)
+        print(f"sradgen service listening on {host}:{port}", flush=True)
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, service.request_shutdown)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        await service.serve_forever()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler fallback
+        pass
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -366,6 +488,8 @@ def _mode(args: argparse.Namespace) -> str:
         return "compact-cache"
     if args.cache_stats:
         return "cache-stats"
+    if args.serve:
+        return "serve"
     if args.campaign:
         return f"campaign {args.campaign}"
     if args.explore:
@@ -405,6 +529,9 @@ def _execute(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
 
     if args.cache_stats:
         return _cache_stats(args, parser)
+
+    if args.serve:
+        return _serve(args)
 
     if args.campaign:
         return _run_campaign(args)

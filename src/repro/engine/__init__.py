@@ -9,9 +9,14 @@ package is the scaffolding for that exploration at scale:
   content-hash keys per job;
 * :mod:`repro.engine.cache` -- a content-addressed on-disk result store, so
   re-running a campaign only evaluates new points;
-* :mod:`repro.engine.runner` -- :class:`CampaignRunner` fans jobs out over
-  worker processes (with a serial fallback), streams :class:`EvalRecord`
-  results back, and merges campaign-level Pareto fronts;
+* :mod:`repro.engine.scheduler` -- :class:`Scheduler` owns the warmed
+  worker pool, chunking and error policy, and dedups concurrent
+  submissions by content hash (two clients asking for the same grid point
+  share one in-flight evaluation);
+* :mod:`repro.engine.runner` -- :class:`CampaignRunner`, the thin
+  synchronous scheduler client: submits a campaign, streams
+  :class:`EvalRecord` results back in campaign order, and merges
+  campaign-level Pareto fronts;
 * :mod:`repro.engine.sweep` -- built-in campaigns reproducing the paper's
   Figure 8/10 sweeps plus new cross-workload grids;
 * :mod:`repro.engine.pareto` -- the O(n log n) Pareto sweep shared with the
@@ -29,6 +34,7 @@ from repro.engine.jobs import (
 )
 from repro.engine.pareto import pareto_indices, pareto_min
 from repro.engine.runner import CampaignResult, CampaignRunner, EvalRecord, evaluate_job
+from repro.engine.scheduler import Scheduler, SchedulerTimeout, Submission
 from repro.engine.sweep import (
     CAMPAIGNS,
     available_campaigns,
@@ -47,6 +53,9 @@ __all__ = [
     "FSM_ENCODINGS",
     "ResultCache",
     "STYLE_VARIANTS",
+    "Scheduler",
+    "SchedulerTimeout",
+    "Submission",
     "available_campaigns",
     "build_campaign",
     "build_design",

@@ -1,4 +1,4 @@
-"""Content-addressed on-disk result store.
+"""Content-addressed on-disk result store with pluggable write backends.
 
 Synthesising a design point takes orders of magnitude longer than reading a
 cached record, so campaigns persist every evaluation keyed by the job's
@@ -6,81 +6,326 @@ content hash (:attr:`repro.engine.jobs.EvalJob.key`).  Re-running a campaign
 then only evaluates points whose spec changed -- new workloads, new
 geometries, a recalibrated library -- and everything else is a cache hit.
 
-The store is a directory holding one append-only JSON-lines file.  Appends
-are atomic enough for the single-writer model used here (only the parent
-campaign process writes; worker processes return records over the pool), and
-the format stays greppable and diffable.  Re-putting a key appends a new
-line that supersedes the old one on the next load; :meth:`ResultCache.compact`
-rewrites the file with only live entries.
+The store is a directory of append-only JSON-lines files.  *Reading* is
+backend-agnostic: every cache loads the base ``results.jsonl`` plus any
+``segments/*.jsonl`` shard files, so a directory written by either backend
+(or by several writers) loads unchanged.  *Writing* is the backend choice:
+
+* :class:`JsonlBackend` (the default, and the seed format) appends every
+  record to the single base file.  Atomic enough for the single-writer
+  model the CLI uses; the format stays greppable and diffable.
+* :class:`ShardedSegmentBackend` gives every writer its own segment file
+  under ``segments/``, so any number of concurrent processes (the campaign
+  service, parallel CLI invocations) can append without interleaving a
+  single file.  Segments are folded back into the base file by
+  merge-on-compact.
+
+Re-putting a key appends a new line that supersedes the old one on the next
+load; :meth:`ResultCache.compact` re-reads every data file *from disk* under
+the directory-level :class:`CacheLock` (so a concurrent writer can neither
+be torn nor lost), rewrites the base file with only live entries and removes
+the segment files it merged.  Every key and record stays byte-identical to
+the seed format regardless of backend.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Dict, Iterator, List, Optional
+import time
+import uuid
+from typing import Dict, Iterator, List, Optional, Union
 
-from repro.obs import metrics
+from repro.obs import log, metrics
 
-__all__ = ["ResultCache"]
+__all__ = [
+    "CacheLock",
+    "CacheLockTimeout",
+    "CacheBackend",
+    "JsonlBackend",
+    "ResultCache",
+    "ShardedSegmentBackend",
+    "make_backend",
+]
 
 _RESULTS_FILE = "results.jsonl"
+_SEGMENTS_DIR = "segments"
+_LOCK_FILE = "cache.lock"
+
+
+class CacheLockTimeout(TimeoutError):
+    """Raised when the cache lock cannot be acquired within the timeout."""
+
+
+class CacheLock:
+    """Advisory inter-process lock file guarding cache compaction.
+
+    Acquisition atomically creates ``cache.lock`` in the cache directory
+    (``O_CREAT | O_EXCL``) with the holder's pid inside.  Compaction (both
+    backends) and sharded-segment appends take this lock, so rewriting the
+    base file can never race a writer into losing records -- the satellite
+    fix for ``sradgen --compact-cache`` racing a running service.
+
+    A lock whose holder died (pid gone, or the file is older than
+    ``stale_after_s``) is broken and re-acquired, so a crashed compaction
+    cannot wedge the cache forever.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        *,
+        timeout: float = 10.0,
+        poll_s: float = 0.005,
+        stale_after_s: float = 60.0,
+    ):
+        self.path = os.path.join(directory, _LOCK_FILE)
+        self.timeout = timeout
+        self.poll_s = poll_s
+        self.stale_after_s = stale_after_s
+
+    def acquire(self) -> "CacheLock":
+        deadline = time.monotonic() + self.timeout
+        os.makedirs(os.path.dirname(self.path), exist_ok=True)
+        while True:
+            try:
+                fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                self._break_if_stale()
+                if time.monotonic() >= deadline:
+                    raise CacheLockTimeout(
+                        f"could not acquire cache lock {self.path} "
+                        f"within {self.timeout}s"
+                    )
+                time.sleep(self.poll_s)
+            else:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(str(os.getpid()))
+                return self
+
+    def _break_if_stale(self) -> None:
+        """Remove the lock file if its holder is provably gone."""
+        try:
+            age = time.time() - os.stat(self.path).st_mtime
+            with open(self.path, "r", encoding="utf-8") as handle:
+                pid = int(handle.read().strip() or "0")
+        except (OSError, ValueError):
+            return  # vanished or half-written mid-race; retry normally
+        stale = age > self.stale_after_s
+        if not stale and pid:
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                stale = True
+            except OSError:
+                pass  # e.g. EPERM: the holder exists but is not ours
+        if stale:
+            log.warning(
+                "breaking stale cache lock",
+                component="cache",
+                path=self.path,
+                holder_pid=pid,
+            )
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass  # someone else broke it first
+
+    def release(self) -> None:
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+    def __enter__(self) -> "CacheLock":
+        return self.acquire()
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+class CacheBackend:
+    """Write strategy behind :class:`ResultCache`.
+
+    A backend decides one thing: which file a ``put`` appends to, and
+    whether that append must hold the directory :class:`CacheLock`.
+    Reading and compaction are shared by :class:`ResultCache` and are
+    backend-agnostic.
+    """
+
+    #: Registry handle (``ResultCache(dir, backend="jsonl")``).
+    name: str = ""
+    #: Whether appends must hold the cache lock (concurrent-writer safety).
+    locks_appends: bool = False
+
+    def append_path(self, directory: str) -> str:
+        """The file this backend's appends go to."""
+        raise NotImplementedError
+
+
+class JsonlBackend(CacheBackend):
+    """The seed format: one append-only ``results.jsonl``, single writer."""
+
+    name = "jsonl"
+    locks_appends = False
+
+    def append_path(self, directory: str) -> str:
+        return os.path.join(directory, _RESULTS_FILE)
+
+
+class ShardedSegmentBackend(CacheBackend):
+    """Per-writer segment files under ``segments/``; merge-on-compact.
+
+    Each backend instance owns one segment named after its ``writer_id``
+    (pid plus a random token by default), so concurrent writers never touch
+    the same file.  Appends take the directory lock briefly so a concurrent
+    compaction cannot unlink a segment between reading and merging it.
+    """
+
+    name = "sharded"
+    locks_appends = True
+
+    def __init__(self, writer_id: Optional[str] = None):
+        self.writer_id = writer_id or f"{os.getpid()}-{uuid.uuid4().hex[:8]}"
+
+    def append_path(self, directory: str) -> str:
+        return os.path.join(
+            directory, _SEGMENTS_DIR, f"seg-{self.writer_id}.jsonl"
+        )
+
+
+_BACKENDS = {JsonlBackend.name: JsonlBackend, ShardedSegmentBackend.name: ShardedSegmentBackend}
+
+
+def make_backend(backend: Union[str, CacheBackend]) -> CacheBackend:
+    """Resolve a backend name (or pass an instance through)."""
+    if isinstance(backend, CacheBackend):
+        return backend
+    try:
+        return _BACKENDS[backend]()
+    except KeyError:
+        raise ValueError(
+            f"unknown cache backend {backend!r}; "
+            f"available: {', '.join(sorted(_BACKENDS))}"
+        ) from None
 
 
 class ResultCache:
-    """Persistent ``key -> record`` store backed by a JSON-lines file.
+    """Persistent ``key -> record`` store backed by JSON-lines files.
 
     Parameters
     ----------
     directory:
         Cache directory; created on first write.  ``None`` gives a purely
         in-memory cache (useful for tests and one-shot runs).
+    backend:
+        Write strategy: ``"jsonl"`` (default; the seed single-writer file)
+        or ``"sharded"`` (per-writer segment files safe for concurrent
+        writers), or a :class:`CacheBackend` instance.  Reading always
+        covers both layouts, so the backend can be switched freely over an
+        existing directory.
     """
 
-    def __init__(self, directory: Optional[str] = None):
+    def __init__(
+        self,
+        directory: Optional[str] = None,
+        *,
+        backend: Union[str, CacheBackend] = "jsonl",
+    ):
         self.directory = directory
+        self.backend = make_backend(backend)
         self._records: Dict[str, dict] = {}
         self._loaded = directory is None
 
     # ------------------------------------------------------------------- io
     @property
     def path(self) -> Optional[str]:
-        """Path of the backing JSONL file (``None`` for in-memory caches)."""
+        """Path of the base JSONL file (``None`` for in-memory caches)."""
         if self.directory is None:
             return None
         return os.path.join(self.directory, _RESULTS_FILE)
 
-    def _load(self) -> None:
-        if self._loaded:
-            return
-        self._loaded = True
-        path = self.path
-        if path is None or not os.path.exists(path):
-            return
+    def data_paths(self) -> List[str]:
+        """Every data file, in deterministic load order: base, then segments.
+
+        Overlapping keys resolve last-write-wins in this order; since keys
+        are content hashes, two writers racing on one key wrote the same
+        record, so the order between segments is benign.
+        """
+        if self.directory is None:
+            return []
+        paths: List[str] = []
+        base = self.path
+        if base is not None and os.path.exists(base):
+            paths.append(base)
+        segments = os.path.join(self.directory, _SEGMENTS_DIR)
+        if os.path.isdir(segments):
+            paths.extend(
+                os.path.join(segments, name)
+                for name in sorted(os.listdir(segments))
+                if name.endswith(".jsonl")
+            )
+        return paths
+
+    @staticmethod
+    def _read_lines(path: str, sink: Dict[str, dict]) -> None:
+        """Fold one JSONL file into ``sink`` (last line per key wins).
+
+        A line that does not decode -- a crash mid-append leaves a torn
+        trailing line -- is warned about and skipped, keeping the live
+        prefix instead of poisoning the whole cache.
+        """
         with open(path, "r", encoding="utf-8") as handle:
-            for line in handle:
+            for line_number, line in enumerate(handle, start=1):
                 line = line.strip()
                 if not line:
                     continue
                 try:
                     entry = json.loads(line)
-                except json.JSONDecodeError:
-                    continue  # tolerate a torn final line from a killed run
+                except json.JSONDecodeError as error:
+                    metrics.incr("cache.torn_lines")
+                    log.warning(
+                        "skipping undecodable cache line "
+                        "(torn append from a killed run?)",
+                        component="cache",
+                        path=path,
+                        line=line_number,
+                        error=str(error),
+                    )
+                    continue
                 key = entry.get("key")
                 record = entry.get("record")
                 if isinstance(key, str) and isinstance(record, dict):
-                    self._records[key] = record
+                    sink[key] = record
+
+    def _load(self) -> None:
+        if self._loaded:
+            return
+        self._loaded = True
+        for path in self.data_paths():
+            self._read_lines(path, self._records)
         metrics.incr("cache.loads")
         metrics.gauge("cache.entries", len(self._records))
 
     def _append(self, key: str, record: dict) -> None:
-        path = self.path
-        if path is None:
+        if self.directory is None:
             return
-        os.makedirs(self.directory, exist_ok=True)
-        with open(path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps({"key": key, "record": record}, sort_keys=True))
-            handle.write("\n")
+        path = self.backend.append_path(self.directory)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        line = json.dumps({"key": key, "record": record}, sort_keys=True)
+        if self.backend.locks_appends:
+            with self.lock():
+                with open(path, "a", encoding="utf-8") as handle:
+                    handle.write(line + "\n")
+        else:
+            with open(path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+
+    def lock(self, *, timeout: float = 10.0) -> CacheLock:
+        """The directory-level lock guarding compaction and sharded appends."""
+        if self.directory is None:
+            raise ValueError("in-memory caches have no lock")
+        return CacheLock(self.directory, timeout=timeout)
 
     # ------------------------------------------------------------ dict-like
     def __contains__(self, key: str) -> bool:
@@ -118,24 +363,58 @@ class ResultCache:
         return list(self._records.values())
 
     def compact(self) -> None:
-        """Rewrite the backing file keeping only the latest entry per key."""
+        """Merge every data file into the base file, keeping live entries.
+
+        Runs under the :class:`CacheLock` and re-reads every file *from
+        disk* (not from this instance's memory), so records appended by a
+        concurrent writer this instance never saw survive the rewrite.
+        Merged segment files are removed; segments created after the merge
+        snapshot are left for the next compaction.
+        """
         self._load()
         path = self.path
-        if path is None or not os.path.exists(path):
+        if path is None:
+            return
+        sources = self.data_paths()
+        if not sources:
             return
         metrics.incr("cache.compactions")
-        tmp_path = path + ".tmp"
-        with open(tmp_path, "w", encoding="utf-8") as handle:
-            for key, record in self._records.items():
-                handle.write(json.dumps({"key": key, "record": record}, sort_keys=True))
-                handle.write("\n")
-        os.replace(tmp_path, path)
+        with self.lock():
+            sources = self.data_paths()  # re-list under the lock
+            merged: Dict[str, dict] = {}
+            for source in sources:
+                self._read_lines(source, merged)
+            tmp_path = path + ".tmp"
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                for key, record in merged.items():
+                    handle.write(
+                        json.dumps({"key": key, "record": record}, sort_keys=True)
+                    )
+                    handle.write("\n")
+            os.replace(tmp_path, path)
+            for source in sources:
+                if source != path:
+                    try:
+                        os.unlink(source)
+                    except OSError:
+                        pass
+        # Adopt the merged view: it may contain other writers' records.
+        self._records = merged
+        metrics.gauge("cache.entries", len(self._records))
 
     def clear(self) -> None:
-        """Drop every record (and truncate the backing file)."""
+        """Drop every record (truncate the base file, remove segments)."""
         self._load()
         self._records.clear()
         path = self.path
-        if path is not None and os.path.exists(path):
-            with open(path, "w", encoding="utf-8"):
-                pass
+        if path is None:
+            return
+        for source in self.data_paths():
+            if source == path:
+                with open(source, "w", encoding="utf-8"):
+                    pass
+            else:
+                try:
+                    os.unlink(source)
+                except OSError:
+                    pass

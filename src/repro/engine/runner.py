@@ -1,28 +1,23 @@
 """Campaign execution: fan jobs out, stream records back, merge Pareto fronts.
 
-The runner is the scaling layer the ROADMAP asks for: it partitions a
-campaign into cached and pending jobs, evaluates the pending ones either
-serially or over a :class:`concurrent.futures.ProcessPoolExecutor`, persists
-every fresh result into the :class:`~repro.engine.cache.ResultCache`, and
-merges everything into a :class:`CampaignResult` whose records are in
-campaign order -- so serial and parallel runs of the same campaign are
-bit-for-bit identical.
+:class:`CampaignRunner` is the synchronous client of the dispatch layer:
+pool ownership, chunking, caching and the per-future error policy all live
+in :class:`~repro.engine.scheduler.Scheduler` (which the campaign service
+shares across clients), while the runner maps one :class:`Campaign` through
+one submission and merges the streamed records into a
+:class:`CampaignResult` whose records are in campaign order -- so serial,
+parallel and remote runs of the same campaign are bit-for-bit identical.
+This module also hosts the worker-side pieces the scheduler dispatches
+(:func:`evaluate_job`, :func:`_evaluate_batch`, :func:`_warm_worker`).
 """
 
 from __future__ import annotations
 
-import concurrent.futures
-import os
 import time
 import traceback
+import warnings
 from dataclasses import asdict, dataclass, field
-
-try:  # the process submodule is missing on platforms without multiprocessing
-    from concurrent.futures.process import BrokenProcessPool
-except ImportError:  # pragma: no cover - environment dependent
-    class BrokenProcessPool(Exception):
-        """Placeholder; never raised when process pools are unavailable."""
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.mapping_params import MappingError
 from repro.engine.cache import ResultCache
@@ -30,8 +25,20 @@ from repro.engine.jobs import Campaign, EvalJob, build_design
 from repro.engine.pareto import pareto_min
 from repro.flow import opt_label_suffix
 from repro.hdl.netlist import NetlistError
-from repro.obs import Tracer, get_tracer, log, metrics, phase, set_tracer, span, tracing_enabled
+from repro.obs import (
+    NULL_SPAN,
+    Tracer,
+    get_tracer,
+    metrics,
+    phase,
+    set_tracer,
+    span,
+    tracing_enabled,
+)
 from repro.synth.power import estimate_power
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.engine.scheduler import Scheduler
 
 __all__ = ["CampaignResult", "CampaignRunner", "EvalRecord", "evaluate_job"]
 
@@ -351,6 +358,13 @@ class CampaignResult:
 class CampaignRunner:
     """Run campaigns against a result cache, serially or in parallel.
 
+    Since the scheduler split, the runner is a thin *synchronous client* of
+    :class:`repro.engine.scheduler.Scheduler`: the warmed process pool,
+    chunking heuristic, per-future error policy and cache writes all live in
+    the scheduler, and :meth:`run` just submits the campaign's jobs and
+    drains the resulting record stream in campaign order.  The public API
+    and result semantics are unchanged.
+
     Parameters
     ----------
     cache:
@@ -368,12 +382,21 @@ class CampaignRunner:
         that spreads the pending jobs over roughly four batches per worker,
         amortising per-submit pickling without starving the pool of
         parallelism; ``1`` restores one-future-per-job dispatch.
+    scheduler:
+        An existing :class:`~repro.engine.scheduler.Scheduler` to run
+        against instead of constructing a private one -- this is how
+        several runners (or the campaign service) share one pool, one cache
+        and one in-flight dedup table.  Mutually exclusive with ``cache`` /
+        ``workers`` / ``chunk_size``, which configure the private
+        scheduler.  A shared scheduler is *not* closed by the runner.
 
     One worker pool is kept alive across the runner's lifetime, so a
     sequence of ``run()`` calls (a campaign sweep, an explorer session)
     pays process startup and the per-worker registry warm-up exactly once.
     Use the runner as a context manager -- or call :meth:`close` -- to shut
-    the pool down deterministically.
+    the pool down deterministically; a runner whose still-warm private pool
+    is instead reclaimed by the garbage collector emits a
+    ``ResourceWarning``.
     """
 
     def __init__(
@@ -383,37 +406,73 @@ class CampaignRunner:
         workers: Optional[int] = None,
         progress: Optional[Callable[[EvalRecord, int, int], None]] = None,
         chunk_size: Optional[int] = None,
+        scheduler: Optional["Scheduler"] = None,
     ):
-        self.cache = cache if cache is not None else ResultCache()
-        if workers is None:
-            workers = min(os.cpu_count() or 1, 8)
-        self.workers = max(0, workers)
-        self.progress = progress
-        if chunk_size is not None and chunk_size < 1:
-            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
-        self.chunk_size = chunk_size
-        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+        if scheduler is not None:
+            if cache is not None or workers is not None or chunk_size is not None:
+                raise ValueError(
+                    "scheduler= is mutually exclusive with cache=/workers=/"
+                    "chunk_size=; configure the shared Scheduler instead"
+                )
+            self._scheduler = scheduler
+            self._owns_scheduler = False
+        else:
+            # Imported here, not at module top: scheduler.py imports the
+            # evaluation primitives from this module.
+            from repro.engine.scheduler import Scheduler
 
-    # ---------------------------------------------------------------- pool
-    def _get_pool(self) -> concurrent.futures.ProcessPoolExecutor:
-        """The persistent worker pool, created (and warmed) on first use."""
-        if self._pool is None:
-            self._pool = concurrent.futures.ProcessPoolExecutor(
-                max_workers=self.workers, initializer=_warm_worker
+            self._scheduler = Scheduler(
+                cache, workers=workers, chunk_size=chunk_size
             )
-        return self._pool
+            self._owns_scheduler = True
+        self.progress = progress
+        self._closed = False
+
+    # ----------------------------------------------------------- delegation
+    @property
+    def scheduler(self) -> "Scheduler":
+        """The scheduler this runner submits to (private or shared)."""
+        return self._scheduler
+
+    @property
+    def cache(self) -> ResultCache:
+        return self._scheduler.cache
+
+    @property
+    def workers(self) -> int:
+        return self._scheduler.workers
+
+    @property
+    def chunk_size(self) -> Optional[int]:
+        return self._scheduler.chunk_size
+
+    @property
+    def _pool(self):
+        return self._scheduler._pool
+
+    @_pool.setter
+    def _pool(self, pool) -> None:
+        self._scheduler._pool = pool
+
+    def _get_pool(self):
+        return self._scheduler._get_pool()
 
     def _discard_pool(self) -> None:
-        # getattr: __del__ may run on a half-constructed runner whose
-        # __init__ raised before _pool was assigned.
-        pool = getattr(self, "_pool", None)
-        if pool is not None:
-            pool.shutdown(wait=False, cancel_futures=True)
-            self._pool = None
+        self._scheduler._discard_pool()
 
+    def _chunked(self, jobs: List[EvalJob]) -> List[List[EvalJob]]:
+        return self._scheduler._chunked(jobs)
+
+    # ------------------------------------------------------------ lifecycle
     def close(self) -> None:
-        """Shut down the persistent worker pool (idempotent)."""
-        self._discard_pool()
+        """Shut down the private scheduler's worker pool (idempotent).
+
+        A shared scheduler (``scheduler=`` at construction) is left
+        running: its lifetime belongs to whoever created it.
+        """
+        self._closed = True
+        if self._owns_scheduler:
+            self._scheduler.close()
 
     def __enter__(self) -> "CampaignRunner":
         return self
@@ -422,18 +481,21 @@ class CampaignRunner:
         self.close()
 
     def __del__(self):  # pragma: no cover - interpreter-shutdown dependent
-        self.close()
-
-    def _chunked(self, jobs: List[EvalJob]) -> List[List[EvalJob]]:
-        """Split pending jobs into per-submission batches."""
-        if self.chunk_size is not None:
-            size = self.chunk_size
-        else:
-            # ~4 batches per worker: large enough to amortise pickling and
-            # future bookkeeping, small enough to keep every worker busy
-            # even when job durations are skewed.
-            size = max(1, len(jobs) // (4 * max(1, self.workers)))
-        return [jobs[i:i + size] for i in range(0, len(jobs), size)]
+        scheduler = getattr(self, "_scheduler", None)
+        if (
+            scheduler is not None
+            and getattr(self, "_owns_scheduler", False)
+            and not getattr(self, "_closed", True)
+            and scheduler._pool is not None
+        ):
+            warnings.warn(
+                "unclosed CampaignRunner reclaimed by the garbage collector; "
+                "call close() or use it as a context manager",
+                ResourceWarning,
+                source=self,
+            )
+        if scheduler is not None and getattr(self, "_owns_scheduler", False):
+            scheduler.close()
 
     # ------------------------------------------------------------------ run
     def run(self, campaign: Campaign, *, force: bool = False) -> CampaignResult:
@@ -445,122 +507,32 @@ class CampaignRunner:
         total = len(campaign.jobs)
         done = 0
         by_key: Dict[str, EvalRecord] = {}
-        pending: List[EvalJob] = []
         # Campaigns may legitimately contain duplicate keys (a grid that
-        # revisits a point); each duplicate is evaluated once but must still
-        # advance the progress counter once per occurrence, or `done` never
-        # reaches `total`.
-        pending_occurrences: Dict[str, int] = {}
+        # revisits a point); the scheduler evaluates each key once but every
+        # occurrence must still advance the progress counter, or `done`
+        # never reaches `total`.
+        occurrences: Dict[str, int] = {}
+        for job in campaign.jobs:
+            occurrences[job.key] = occurrences.get(job.key, 0) + 1
 
         with span("campaign.run", detail=campaign.name) as run_span:
-            for job in campaign.jobs:
-                cached = None if force else self.cache.get(job.key)
-                if cached is not None:
-                    record = EvalRecord.from_dict(cached, cached=True)
-                    by_key[job.key] = record
-                    done += 1
-                    if self.progress:
-                        self.progress(record, done, total)
-                else:
-                    if job.key not in pending_occurrences:
-                        pending.append(job)
-                        pending_occurrences[job.key] = 0
-                    pending_occurrences[job.key] += 1
-
-            run_span.add("jobs", total)
-            run_span.add("cache_hits", done)
-            run_span.add("pending", len(pending))
-            with span("campaign.dispatch", detail=f"{len(pending)} pending job(s)"):
-                for record in self._evaluate(pending):
-                    # Error records are transient (a worker OOM, say) --
-                    # caching them would replay the failure forever; only
-                    # determinate outcomes (metrics, or a deterministic
-                    # inapplicability) are persisted.
-                    if record.status != ERROR:
-                        self.cache.put(record.key, record.to_dict())
+            with span("campaign.dispatch") as dispatch_span:
+                submission = self._scheduler.submit(campaign.jobs, force=force)
+                pending = submission.expected - len(submission.cached_keys)
+                run_span.add("jobs", total)
+                run_span.add(
+                    "cache_hits",
+                    sum(occurrences[key] for key in submission.cached_keys),
+                )
+                run_span.add("pending", pending)
+                if dispatch_span is not NULL_SPAN:
+                    dispatch_span.detail = f"{pending} pending job(s)"
+                for record in submission.results():
                     by_key[record.key] = record
-                    for _ in range(pending_occurrences.get(record.key, 1)):
+                    for _ in range(occurrences.get(record.key, 1)):
                         done += 1
                         if self.progress:
                             self.progress(record, done, total)
 
         records = [by_key[job.key] for job in campaign.jobs]
         return CampaignResult(campaign=campaign.name, records=records)
-
-    # ------------------------------------------------------------- internal
-    def _evaluate(self, jobs: List[EvalJob]):
-        if not jobs:
-            return
-        produced: set = set()
-        if self.workers > 1 and len(jobs) > 1:
-            try:
-                for record in self._evaluate_parallel(jobs):
-                    produced.add(record.key)
-                    yield record
-                return
-            except (
-                OSError,
-                ImportError,
-                BrokenProcessPool,
-            ) as error:  # pragma: no cover - environment dependent
-                # Sandboxes without fork support or /dev/shm land here; the
-                # campaign still completes, just serially.  The broken pool
-                # is discarded so a later run() can try a fresh one.
-                metrics.incr("campaign.pool_fallbacks")
-                log.warning(
-                    "process pool unavailable; falling back to serial",
-                    component="runner",
-                    error=str(error),
-                )
-                self._discard_pool()
-        for job in jobs:
-            if job.key not in produced:
-                yield evaluate_job(job)
-
-    def _evaluate_parallel(self, jobs: List[EvalJob]):
-        pool = self._get_pool()
-        batches = self._chunked(jobs)
-        # Whether workers should trace is decided once at dispatch: each
-        # batch runs under its own worker-side tracer and ships the span
-        # trees back for re-parenting under the current dispatch span.
-        trace_workers = tracing_enabled()
-        future_jobs = {
-            pool.submit(_evaluate_batch, batch, trace_workers): batch
-            for batch in batches
-        }
-        metrics.incr("campaign.batches_dispatched", len(batches))
-        if batches:
-            metrics.gauge("campaign.chunk_size", max(len(b) for b in batches))
-        for future in concurrent.futures.as_completed(future_jobs):
-            try:
-                records, span_dicts, counter_delta = future.result()
-            except (OSError, BrokenProcessPool):
-                # Pool-level breakage: every remaining future is doomed too;
-                # escalate so _evaluate falls back to serial in-process.
-                raise
-            except Exception as error:
-                # One raising future must not abort the whole campaign
-                # mid-generator.  evaluate_job itself never raises, so a
-                # failed future is a dispatch failure (pickling, a worker
-                # dying mid-batch) that cannot be attributed to any single
-                # job of the batch; re-evaluate the batch in-process so the
-                # healthy jobs still get real records and the true offender
-                # is classified per job by evaluate_job -- deterministic
-                # inapplicability as "skipped", mirroring explore(),
-                # anything else as a transient (uncached) "error".
-                batch = future_jobs[future]
-                metrics.incr("campaign.batch_failures")
-                log.warning(
-                    "worker batch failed; re-evaluating in-process",
-                    component="runner",
-                    error=f"{type(error).__name__}: {error}",
-                    jobs=len(batch),
-                )
-                records = [evaluate_job(job) for job in batch]
-                span_dicts, counter_delta = [], {}
-            if counter_delta:
-                metrics.merge_counters(counter_delta)
-            if span_dicts:
-                get_tracer().adopt(span_dicts)
-            for record in records:
-                yield record

@@ -1,0 +1,48 @@
+"""Campaign service: a long-running, multi-client front-end for the engine.
+
+The ROADMAP north-star is an exploration *service*, not a CLI that owns a
+process pool for the duration of one invocation.  This package provides it
+with nothing beyond the stdlib:
+
+* :mod:`repro.service.protocol` -- the JSON-lines wire format: one JSON
+  object per line, campaign/explore requests keyed by the same canonical
+  :class:`~repro.flow.FlowSpec` dictionaries that make cache keys, records
+  streamed back as they complete;
+* :mod:`repro.service.server` -- :class:`CampaignService`, an ``asyncio``
+  streams server that submits every request to one shared
+  :class:`~repro.engine.scheduler.Scheduler` (so concurrent clients dedup
+  against each other and share the warmed pool) over a concurrent-writer
+  :class:`~repro.engine.cache.ResultCache`;
+* :mod:`repro.service.client` -- :class:`ServiceClient` (asyncio) plus the
+  synchronous :func:`run_campaign_remote` helper the CLI's ``--connect``
+  path uses.
+
+Start a server with ``sradgen --serve`` and point any number of
+``sradgen --campaign ... --connect HOST:PORT`` invocations (or the
+``tools/bench.py`` load generator) at it.
+"""
+
+from repro.service.client import ServiceClient, run_campaign_remote
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    ServiceError,
+    decode_message,
+    encode_message,
+    job_from_wire,
+    job_to_wire,
+)
+from repro.service.server import CampaignService
+
+__all__ = [
+    "CampaignService",
+    "MAX_LINE_BYTES",
+    "PROTOCOL_VERSION",
+    "ServiceClient",
+    "ServiceError",
+    "decode_message",
+    "encode_message",
+    "job_from_wire",
+    "job_to_wire",
+    "run_campaign_remote",
+]

@@ -1,0 +1,214 @@
+"""Clients for the campaign service.
+
+:class:`ServiceClient` is the asyncio client (one connection, one request at
+a time -- the protocol is request/stream/next-request per connection; open
+more clients for concurrency).  :func:`run_campaign_remote` is the
+synchronous convenience the CLI's ``--connect`` path and the bench load
+generator use: it runs a whole :class:`~repro.engine.jobs.Campaign` against
+a remote server and reassembles a :class:`~repro.engine.runner.CampaignResult`
+with exactly the semantics of a local
+:meth:`CampaignRunner.run <repro.engine.runner.CampaignRunner.run>` --
+records in campaign order, duplicates resolved to one evaluation,
+``cached`` flags preserved.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.engine.jobs import Campaign
+from repro.engine.runner import CampaignResult, EvalRecord
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    ServiceError,
+    decode_message,
+    encode_message,
+    job_to_wire,
+)
+
+__all__ = ["ServiceClient", "run_campaign_remote"]
+
+#: Progress callback: ``(record_event_dict)`` for each streamed record.
+RecordCallback = Callable[[Dict[str, Any]], None]
+
+
+class ServiceClient:
+    """One JSON-lines connection to a :class:`CampaignService`."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def __aenter__(self) -> "ServiceClient":
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port, limit=MAX_LINE_BYTES
+        )
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+            self._reader = self._writer = None
+
+    # -------------------------------------------------------------- plumbing
+    async def _send(self, message: Dict[str, Any]) -> None:
+        if self._writer is None:
+            raise ServiceError("client is not connected")
+        self._writer.write(encode_message(message))
+        await self._writer.drain()
+
+    async def _recv(self) -> Dict[str, Any]:
+        if self._reader is None:
+            raise ServiceError("client is not connected")
+        line = await self._reader.readline()
+        if not line:
+            raise ServiceError("server closed the connection")
+        return decode_message(line)
+
+    async def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one single-response request (``ping``/``metrics``/``shutdown``)."""
+        await self._send(message)
+        response = await self._recv()
+        if response.get("event") == "error":
+            raise ServiceError(response.get("error", "unknown server error"))
+        return response
+
+    # ------------------------------------------------------------ operations
+    async def ping(self) -> Dict[str, Any]:
+        return await self.request({"op": "ping"})
+
+    async def metrics(self) -> Dict[str, Any]:
+        """The server's ``repro.obs`` counter snapshot."""
+        return (await self.request({"op": "metrics"}))["counters"]
+
+    async def shutdown_server(self) -> None:
+        await self.request({"op": "shutdown"})
+
+    async def run_jobs(
+        self,
+        wire_jobs: List[Dict[str, Any]],
+        *,
+        force: bool = False,
+        timeout: Optional[float] = None,
+        on_record: Optional[RecordCallback] = None,
+        request_id: Optional[str] = None,
+    ) -> Tuple[List[Dict[str, Any]], Dict[str, Any]]:
+        """Run an explicit job list; returns ``(record_events, end_event)``.
+
+        Each record event carries the server's ``record`` dictionary (the
+        exact cached form) plus its ``cached`` flag; the accepted event's
+        counters land on the returned end event under ``"accepted"``.
+        """
+        message: Dict[str, Any] = {"op": "jobs", "jobs": wire_jobs, "force": force}
+        if timeout is not None:
+            message["timeout"] = timeout
+        if request_id is not None:
+            message["id"] = request_id
+        await self._send(message)
+        accepted = await self._recv()
+        if accepted.get("event") == "error":
+            raise ServiceError(accepted.get("error", "request rejected"))
+        if accepted.get("event") != "accepted":
+            raise ServiceError(f"unexpected server message: {accepted}")
+        records: List[Dict[str, Any]] = []
+        while True:
+            event = await self._recv()
+            kind = event.get("event")
+            if kind == "record":
+                records.append(event)
+                if on_record is not None:
+                    on_record(event)
+            elif kind == "end":
+                event["accepted"] = accepted
+                return records, event
+            elif kind == "error":
+                raise ServiceError(event.get("error", "evaluation failed"))
+            else:
+                raise ServiceError(f"unexpected server message: {event}")
+
+    async def run_campaign(
+        self,
+        campaign: Campaign,
+        *,
+        force: bool = False,
+        timeout: Optional[float] = None,
+        on_record: Optional[RecordCallback] = None,
+    ) -> CampaignResult:
+        """Run a local :class:`Campaign` object remotely.
+
+        The grid is shipped job-by-job (the explore path), so anything a
+        local runner could evaluate works remotely -- no need for the
+        campaign to be registered server-side.
+        """
+        record_events, _ = await self.run_jobs(
+            [job_to_wire(job) for job in campaign.jobs],
+            force=force,
+            timeout=timeout,
+            on_record=on_record,
+        )
+        by_key: Dict[str, EvalRecord] = {}
+        for event in record_events:
+            record = EvalRecord.from_dict(
+                event["record"], cached=bool(event.get("cached"))
+            )
+            by_key[record.key] = record
+        missing = [job.key for job in campaign.jobs if job.key not in by_key]
+        if missing:
+            raise ServiceError(
+                f"server returned no record for {len(missing)} job key(s)"
+            )
+        return CampaignResult(
+            campaign=campaign.name,
+            records=[by_key[job.key] for job in campaign.jobs],
+        )
+
+
+def run_campaign_remote(
+    host: str,
+    port: int,
+    campaign: Campaign,
+    *,
+    force: bool = False,
+    timeout: Optional[float] = None,
+    progress: Optional[Callable[[EvalRecord, int, int], None]] = None,
+) -> CampaignResult:
+    """Synchronous remote equivalent of ``CampaignRunner(...).run(campaign)``.
+
+    ``progress`` mirrors the runner's callback signature
+    (``progress(record, done, total)``); ``done``/``total`` count *unique*
+    server-side records, which for duplicate-free campaigns equals the
+    runner's counting.
+    """
+
+    async def _run() -> CampaignResult:
+        async with ServiceClient(host, port) as client:
+            on_record: Optional[RecordCallback] = None
+            if progress is not None:
+
+                def on_record(event: Dict[str, Any]) -> None:
+                    progress(
+                        EvalRecord.from_dict(
+                            event["record"], cached=bool(event.get("cached"))
+                        ),
+                        event["done"],
+                        event["total"],
+                    )
+
+            return await client.run_campaign(
+                campaign, force=force, timeout=timeout, on_record=on_record
+            )
+
+    return asyncio.run(_run())

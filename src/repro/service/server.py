@@ -1,0 +1,463 @@
+"""The campaign service server: asyncio streams over one shared scheduler.
+
+:class:`CampaignService` accepts any number of concurrent JSON-lines
+connections (:mod:`repro.service.protocol`) and funnels every evaluation
+request into a single :class:`~repro.engine.scheduler.Scheduler`.  That is
+the whole point of the layering: concurrent clients share the warmed
+process pool, the result cache *and* the in-flight dedup table, so two
+clients sweeping overlapping grids cost one evaluation per overlapping
+point, not two.
+
+The scheduler is synchronous (its consumers block on queues); the bridge is
+one pump thread per evaluation request that drains
+:meth:`Submission.results` and hands each record to the event loop with
+``call_soon_threadsafe``.  The loop itself only ever parses lines, writes
+lines and waits -- it never blocks on an evaluation.
+
+Observability rides :mod:`repro.obs`: every request runs under a
+``service.request`` span, and the registry gains ``service.connections`` /
+``service.requests`` / ``service.active_requests`` (queue depth) next to
+the scheduler's ``scheduler.dedup_hits`` / ``scheduler.inflight`` --
+the ``metrics`` op exposes all of it to remote clients.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import dataclasses
+import signal
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.engine.cache import ResultCache
+from repro.engine.jobs import EvalJob
+from repro.engine.scheduler import Scheduler, SchedulerTimeout
+from repro.engine.sweep import build_campaign
+from repro.obs import log, metrics, span
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    ServiceError,
+    decode_message,
+    encode_message,
+    job_from_wire,
+)
+
+__all__ = ["CampaignService"]
+
+
+class CampaignService:
+    """A long-running evaluation server over one shared scheduler.
+
+    Parameters
+    ----------
+    cache / cache_dir / cache_backend:
+        Either an existing :class:`ResultCache`, or a directory (plus
+        backend name) to open one in.  The default backend is ``sharded``:
+        the service is exactly the concurrent-writer scenario the
+        sharded-segment backend exists for (another process -- a CLI run, a
+        compaction -- may be appending to the same directory).
+    workers / chunk_size:
+        Forwarded to the private :class:`Scheduler`.
+    request_timeout:
+        Default per-request evaluation deadline in seconds (a request may
+        lower it with its own ``timeout`` field).
+    drain_timeout:
+        How long :meth:`shutdown` waits for in-flight requests before
+        closing their connections.
+    scheduler:
+        Share an existing scheduler instead of constructing one (its cache
+        and pool then outlive the service).
+    """
+
+    def __init__(
+        self,
+        *,
+        cache: Optional[ResultCache] = None,
+        cache_dir: Optional[str] = None,
+        cache_backend: str = "sharded",
+        workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        request_timeout: float = 600.0,
+        drain_timeout: float = 10.0,
+        scheduler: Optional[Scheduler] = None,
+    ):
+        if scheduler is not None:
+            if cache is not None or cache_dir is not None:
+                raise ValueError("scheduler= is mutually exclusive with cache=/cache_dir=")
+            self._scheduler = scheduler
+            self._owns_scheduler = False
+        else:
+            if cache is None:
+                cache = ResultCache(cache_dir, backend=cache_backend)
+            self._scheduler = Scheduler(cache, workers=workers, chunk_size=chunk_size)
+            self._owns_scheduler = True
+        self.request_timeout = request_timeout
+        self.drain_timeout = drain_timeout
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._requests: "set[asyncio.Task]" = set()
+        self._connections: "set[asyncio.Task]" = set()
+        self._shutdown_event: Optional[asyncio.Event] = None
+
+    # ------------------------------------------------------------ lifecycle
+    @property
+    def scheduler(self) -> Scheduler:
+        return self._scheduler
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` -- port is concrete even if 0 was asked."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("service is not started")
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:
+        """Bind and start accepting connections; returns the bound address."""
+        self._shutdown_event = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_client, host, port, limit=MAX_LINE_BYTES
+        )
+        bound = self.address
+        log.info(
+            "campaign service listening",
+            component="service",
+            host=bound[0],
+            port=bound[1],
+            workers=self._scheduler.workers,
+        )
+        return bound
+
+    async def serve_forever(self) -> None:
+        """Serve until :meth:`shutdown` (or a ``shutdown`` request) fires."""
+        if self._server is None or self._shutdown_event is None:
+            raise RuntimeError("service is not started")
+        await self._shutdown_event.wait()
+        await self._drain()
+
+    async def run(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        """Start, install SIGINT/SIGTERM handlers, serve until shutdown."""
+        await self.start(host, port)
+        loop = asyncio.get_running_loop()
+        installed: List[signal.Signals] = []
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, self.request_shutdown)
+                installed.append(sig)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-main thread or platform without signal support
+        try:
+            await self.serve_forever()
+        finally:
+            for sig in installed:
+                loop.remove_signal_handler(sig)
+
+    def request_shutdown(self) -> None:
+        """Flip the shutdown event (safe to call from a signal handler)."""
+        if self._shutdown_event is not None:
+            self._shutdown_event.set()
+
+    async def _drain(self) -> None:
+        """Stop accepting, wait for in-flight requests, release the pool."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        pending = [task for task in self._requests if not task.done()]
+        if pending:
+            log.info(
+                "draining in-flight requests",
+                component="service",
+                requests=len(pending),
+                timeout_s=self.drain_timeout,
+            )
+            done, still_pending = await asyncio.wait(
+                pending, timeout=self.drain_timeout
+            )
+            for task in still_pending:
+                task.cancel()
+            if still_pending:
+                await asyncio.gather(*still_pending, return_exceptions=True)
+        # Idle connections (blocked in readline) would otherwise be torn
+        # down noisily when the event loop closes.
+        connections = [task for task in self._connections if not task.done()]
+        for task in connections:
+            task.cancel()
+        if connections:
+            await asyncio.gather(*connections, return_exceptions=True)
+        if self._owns_scheduler:
+            self._scheduler.close()
+        log.info("campaign service stopped", component="service")
+
+    async def shutdown(self) -> None:
+        """Programmatic graceful shutdown (drains, then returns)."""
+        self.request_shutdown()
+
+    # ------------------------------------------------------------- protocol
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        metrics.incr("service.connections")
+        write_lock = asyncio.Lock()
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (
+                    asyncio.LimitOverrunError,
+                    ValueError,
+                ):  # oversized line: unrecoverable framing loss
+                    await self._send(
+                        writer, write_lock, {"event": "error", "error": "line too long"}
+                    )
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    request = decode_message(line)
+                except ServiceError as error:
+                    await self._send(
+                        writer, write_lock, {"event": "error", "error": str(error)}
+                    )
+                    continue
+                await self._dispatch_request(request, writer, write_lock)
+                if self._shutdown_event is not None and self._shutdown_event.is_set():
+                    break
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass  # client vanished mid-write; nothing to answer
+        except asyncio.CancelledError:
+            pass  # server drain: close the connection and exit cleanly
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _dispatch_request(
+        self,
+        request: Dict[str, Any],
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        op = request.get("op")
+        envelope = {"id": request["id"]} if "id" in request else {}
+        metrics.incr("service.requests")
+        with span("service.request", detail=str(op)):
+            if op == "ping":
+                await self._send(
+                    writer,
+                    write_lock,
+                    {**envelope, "ok": True, "op": "ping", "protocol": PROTOCOL_VERSION},
+                )
+            elif op == "metrics":
+                await self._send(
+                    writer,
+                    write_lock,
+                    {**envelope, "ok": True, "op": "metrics", "counters": metrics.counters()},
+                )
+            elif op == "shutdown":
+                await self._send(writer, write_lock, {**envelope, "ok": True, "op": "shutdown"})
+                self.request_shutdown()
+            elif op in ("campaign", "jobs"):
+                task = asyncio.ensure_future(
+                    self._run_evaluation(request, envelope, writer, write_lock)
+                )
+                self._requests.add(task)
+                metrics.gauge("service.active_requests", len(self._requests))
+                task.add_done_callback(self._retire_request)
+                # One request at a time per connection: the protocol is
+                # strictly request/stream/next-request, so awaiting here
+                # keeps per-connection ordering while other connections
+                # proceed concurrently.
+                try:
+                    await asyncio.shield(task)
+                except asyncio.CancelledError:
+                    raise
+                except Exception as error:
+                    await self._send(
+                        writer,
+                        write_lock,
+                        {
+                            **envelope,
+                            "event": "error",
+                            "error": f"internal error: {type(error).__name__}: {error}",
+                        },
+                    )
+            else:
+                await self._send(
+                    writer,
+                    write_lock,
+                    {**envelope, "event": "error", "error": f"unknown op: {op!r}"},
+                )
+
+    def _retire_request(self, task: "asyncio.Task") -> None:
+        self._requests.discard(task)
+        metrics.gauge("service.active_requests", len(self._requests))
+        if not task.cancelled() and task.exception() is not None:  # pragma: no cover
+            log.warning(
+                "request task died",
+                component="service",
+                error=str(task.exception()),
+            )
+
+    # ----------------------------------------------------------- evaluation
+    def _jobs_from_request(self, request: Dict[str, Any]) -> Tuple[List[EvalJob], str]:
+        """Materialise the request's job list; raises ServiceError when bad."""
+        if request.get("op") == "campaign":
+            name = request.get("campaign")
+            if not isinstance(name, str):
+                raise ServiceError("'campaign' must name a registered campaign")
+            try:
+                campaign = build_campaign(name)
+            except KeyError as error:
+                raise ServiceError(f"unknown campaign: {error}") from None
+            overrides = request.get("spec") or {}
+            if not isinstance(overrides, dict):
+                raise ServiceError("'spec' must be a JSON object of FlowSpec overrides")
+            if overrides:
+                try:
+                    jobs = [
+                        dataclasses.replace(
+                            job, spec=job.spec.with_overrides(**overrides)
+                        )
+                        for job in campaign.jobs
+                    ]
+                except TypeError as error:
+                    raise ServiceError(f"bad spec override: {error}") from None
+            else:
+                jobs = list(campaign.jobs)
+            return jobs, name
+        wire_jobs = request.get("jobs")
+        if not isinstance(wire_jobs, list) or not wire_jobs:
+            raise ServiceError("'jobs' must be a non-empty list")
+        return [job_from_wire(item) for item in wire_jobs], f"{len(wire_jobs)} job(s)"
+
+    async def _run_evaluation(
+        self,
+        request: Dict[str, Any],
+        envelope: Dict[str, Any],
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        start = time.perf_counter()
+        try:
+            jobs, label = self._jobs_from_request(request)
+            timeout = float(request.get("timeout") or self.request_timeout)
+            force = bool(request.get("force", False))
+        except ServiceError as error:
+            await self._send(
+                writer, write_lock, {**envelope, "event": "error", "error": str(error)}
+            )
+            return
+        # submit() may fault in a cold on-disk cache; keep it off the loop.
+        submission = await asyncio.to_thread(
+            self._scheduler.submit, jobs, force=force
+        )
+        await self._send(
+            writer,
+            write_lock,
+            {
+                **envelope,
+                "event": "accepted",
+                "label": label,
+                "jobs": len(jobs),
+                "unique": submission.expected,
+                "cached": len(submission.cached_keys),
+                "pending": submission.pending,
+                "deduped": submission.deduped,
+            },
+        )
+
+        loop = asyncio.get_running_loop()
+        events: "asyncio.Queue[Tuple[str, Any]]" = asyncio.Queue()
+
+        def push(kind: str, payload: Any) -> None:
+            try:
+                loop.call_soon_threadsafe(events.put_nowait, (kind, payload))
+            except RuntimeError:  # pragma: no cover - loop closed mid-drain
+                pass
+
+        def pump() -> None:
+            # The scheduler API is synchronous; this thread is the blocking
+            # consumer, forwarding records into the loop as they complete.
+            try:
+                for record in submission.results(timeout=timeout):
+                    push("record", record)
+                push("end", None)
+            except SchedulerTimeout as error:
+                push("timeout", str(error))
+            except Exception as error:  # pragma: no cover - defensive
+                push("fail", f"{type(error).__name__}: {error}")
+
+        thread = threading.Thread(
+            target=pump, name="sradgen-service-pump", daemon=True
+        )
+        thread.start()
+        done = 0
+        try:
+            while True:
+                kind, payload = await events.get()
+                if kind == "record":
+                    done += 1
+                    await self._send(
+                        writer,
+                        write_lock,
+                        {
+                            **envelope,
+                            "event": "record",
+                            "done": done,
+                            "total": submission.expected,
+                            "cached": payload.cached,
+                            "record": payload.to_dict(),
+                        },
+                    )
+                elif kind == "timeout":
+                    submission.cancel()
+                    metrics.incr("service.request_timeouts")
+                    await self._send(
+                        writer, write_lock, {**envelope, "event": "error", "error": payload}
+                    )
+                    return
+                elif kind == "fail":
+                    submission.cancel()
+                    await self._send(
+                        writer, write_lock, {**envelope, "event": "error", "error": payload}
+                    )
+                    return
+                else:  # end
+                    await self._send(
+                        writer,
+                        write_lock,
+                        {
+                            **envelope,
+                            "event": "end",
+                            "ok": True,
+                            "records": done,
+                            "wall_s": round(time.perf_counter() - start, 6),
+                        },
+                    )
+                    return
+        except asyncio.CancelledError:
+            # Drain timeout expired during shutdown: abandon the submission
+            # so the pump thread (and any joined clients) unblock.
+            submission.cancel()
+            raise
+        finally:
+            thread.join(timeout=1.0)
+
+    @staticmethod
+    async def _send(
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        message: Dict[str, Any],
+    ) -> None:
+        data = encode_message(message)
+        async with write_lock:
+            writer.write(data)
+            await writer.drain()

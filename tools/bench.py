@@ -7,11 +7,24 @@ dispatch -- and writes the measurements to a ``BENCH_*.json`` file, seeding
 the repo's performance trajectory: every future PR can run the same harness
 and diff the numbers.
 
+PR 7 adds the **service load generator**: N concurrent clients submitting M
+campaigns each against one shared scheduler/cache, recording throughput,
+dedup effectiveness (zero duplicate evaluations expected) and agreement
+with a serial ``CampaignRunner.run``.  By default it spins an in-process
+server; ``--connect HOST:PORT`` points it at a running ``sradgen --serve``
+instead (what the CI service-smoke job does).
+
 Usage::
 
     PYTHONPATH=src python tools/bench.py             # full sizes (~1 min)
     PYTHONPATH=src python tools/bench.py --smoke     # CI-sized (~15 s)
     PYTHONPATH=src python tools/bench.py --output BENCH_PR6.json
+
+    # Load-generate against a live server and fail on any duplicate
+    # evaluation or serial mismatch:
+    PYTHONPATH=src python tools/bench.py --service-load \
+        --connect 127.0.0.1:8787 --clients 4 --campaigns-per-client 2 \
+        --check-dedup --output BENCH_SERVICE.json
 
 Output schema (``scenario -> wall-clock + stats``)::
 
@@ -38,12 +51,14 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import platform
 import random
 import sys
 import tempfile
+import threading
 import time
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.engine import CampaignRunner, ResultCache, build_campaign
 from repro.engine.jobs import build_design
@@ -265,6 +280,153 @@ def bench_campaign(smoke: bool) -> Dict[str, Dict[str, object]]:
     }
 
 
+def _start_local_service(cache_dir: str):
+    """Spin an in-process campaign service; returns ``((host, port), stop)``."""
+    import asyncio
+
+    from repro.service.server import CampaignService
+
+    ready = threading.Event()
+    box: Dict[str, object] = {}
+
+    def serve() -> None:
+        async def main() -> None:
+            service = CampaignService(cache_dir=cache_dir)
+            box["addr"] = await service.start("127.0.0.1", 0)
+            box["service"] = service
+            box["loop"] = asyncio.get_running_loop()
+            ready.set()
+            await service.serve_forever()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=serve, name="bench-service", daemon=True)
+    thread.start()
+    if not ready.wait(30):
+        raise RuntimeError("in-process campaign service failed to start")
+
+    def stop() -> None:
+        box["loop"].call_soon_threadsafe(box["service"].request_shutdown)
+        thread.join(30)
+
+    return box["addr"], stop
+
+
+def _remote_counters(host: str, port: int) -> Dict[str, int]:
+    """The server's counter registry via the ``metrics`` op."""
+    import asyncio
+
+    from repro.service.client import ServiceClient
+
+    async def fetch() -> Dict[str, int]:
+        async with ServiceClient(host, port) as client:
+            return await client.metrics()
+
+    return asyncio.run(fetch())
+
+
+def _normalized_record(record) -> Dict[str, object]:
+    """Cached-form dict with volatile wall-clock zeroed and NaN made comparable."""
+    data = record.to_dict()
+    data["duration_s"] = 0.0
+    return {
+        key: None if isinstance(value, float) and math.isnan(value) else value
+        for key, value in data.items()
+    }
+
+
+def bench_service_load(
+    smoke: bool,
+    *,
+    clients: int = 4,
+    campaigns_per_client: int = 2,
+    connect: Optional[Tuple[str, int]] = None,
+) -> Dict[str, object]:
+    """N clients x M campaigns against one shared scheduler and cache.
+
+    Every client submits the same campaign, so all requests past the first
+    overlap completely: with cross-request dedup working, the server
+    evaluates each unique job exactly once no matter how many clients race
+    (``duplicate_evaluations`` must be 0), and the streamed records agree
+    with a serial in-process ``CampaignRunner.run``
+    (``records_match_serial``; ``duration_s`` zeroed on both sides -- wall
+    clock is the one field that legitimately differs run to run).
+    """
+    del smoke  # one size: the contention pattern, not the grid, is the load
+    from repro.service.client import run_campaign_remote
+
+    campaign = build_campaign("smoke")
+    unique_jobs = len({job.key for job in campaign.jobs})
+
+    stop = None
+    tmp = None
+    if connect is None:
+        tmp = tempfile.TemporaryDirectory()
+        (host, port), stop = _start_local_service(tmp.name)
+    else:
+        host, port = connect
+
+    try:
+        before = _remote_counters(host, port)
+        results: List[object] = [None] * clients
+        errors: List[str] = []
+
+        def client_worker(index: int) -> None:
+            try:
+                for _ in range(campaigns_per_client):
+                    results[index] = run_campaign_remote(host, port, campaign)
+            except Exception as error:  # noqa: BLE001 - recorded, then raised
+                errors.append(f"client {index}: {type(error).__name__}: {error}")
+
+        threads = [
+            threading.Thread(target=client_worker, args=(i,), daemon=True)
+            for i in range(clients)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - start
+        if errors:
+            raise RuntimeError("; ".join(errors))
+        after = _remote_counters(host, port)
+    finally:
+        if stop is not None:
+            stop()
+        if tmp is not None:
+            tmp.cleanup()
+
+    delta = {key: after.get(key, 0) - before.get(key, 0) for key in after}
+    evaluations = delta.get("scheduler.evaluations", 0)
+    requests = clients * campaigns_per_client
+    records_streamed = requests * unique_jobs
+
+    serial = CampaignRunner(ResultCache(None), workers=0).run(campaign)
+    remote = results[0]
+    records_match_serial = [
+        _normalized_record(record) for record in remote.records
+    ] == [_normalized_record(record) for record in serial.records]
+
+    return {
+        "wall_s": wall,
+        "repeats": 1,
+        "campaign": campaign.name,
+        "clients": clients,
+        "campaigns_per_client": campaigns_per_client,
+        "requests": requests,
+        "jobs_per_campaign": len(campaign.jobs),
+        "unique_jobs": unique_jobs,
+        "records_streamed": records_streamed,
+        "throughput_records_per_s": records_streamed / wall if wall else 0.0,
+        "evaluations": evaluations,
+        "duplicate_evaluations": max(0, evaluations - unique_jobs),
+        "dedup_hits": delta.get("scheduler.dedup_hits", 0),
+        "cache_hits": delta.get("cache.hits", 0),
+        "records_match_serial": records_match_serial,
+    }
+
+
 def run_benchmarks(smoke: bool) -> Dict[str, object]:
     scenarios: Dict[str, object] = {}
     scenarios["qm_fsm_tables"] = bench_qm_fsm_tables(smoke)
@@ -272,6 +434,7 @@ def run_benchmarks(smoke: bool) -> Dict[str, object]:
     scenarios["fsm_synthesis_effort"] = bench_fsm_synthesis_effort(smoke)
     scenarios["opt_pipeline"] = bench_opt_pipeline(smoke)
     scenarios.update(bench_campaign(smoke))
+    scenarios["service_load"] = bench_service_load(smoke)
     return {
         "schema": SCHEMA,
         "mode": "smoke" if smoke else "full",
@@ -287,12 +450,52 @@ def main(argv=None) -> int:
         help="CI-sized scenarios (seconds instead of a minute)",
     )
     parser.add_argument(
-        "--output", default="BENCH_PR5.json",
+        "--output", default="BENCH_PR7.json",
         help="destination JSON file (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--service-load", action="store_true",
+        help="run only the service load-generator scenario",
+    )
+    parser.add_argument(
+        "--connect", metavar="HOST:PORT", default=None,
+        help="load-generate against a running sradgen --serve instead of an "
+             "in-process server (implies --service-load)",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=4,
+        help="concurrent load-generator clients (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--campaigns-per-client", type=int, default=2,
+        help="sequential campaigns each client submits (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--check-dedup", action="store_true",
+        help="exit non-zero unless the load run had zero duplicate "
+             "evaluations and matched a serial run",
     )
     args = parser.parse_args(argv)
 
-    payload = run_benchmarks(args.smoke)
+    if args.service_load or args.connect:
+        connect = None
+        if args.connect:
+            host, _, port = args.connect.rpartition(":")
+            connect = (host, int(port))
+        stats = bench_service_load(
+            args.smoke,
+            clients=args.clients,
+            campaigns_per_client=args.campaigns_per_client,
+            connect=connect,
+        )
+        payload = {
+            "schema": SCHEMA,
+            "mode": "smoke" if args.smoke else "full",
+            "python": platform.python_version(),
+            "scenarios": {"service_load": stats},
+        }
+    else:
+        payload = run_benchmarks(args.smoke)
     for name, data in payload["scenarios"].items():
         extra = ""
         if "speedup" in data:
@@ -307,6 +510,26 @@ def main(argv=None) -> int:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"wrote {args.output}")
+
+    if args.check_dedup:
+        stats = payload["scenarios"]["service_load"]
+        problems = []
+        if stats["duplicate_evaluations"]:
+            problems.append(
+                f"{stats['duplicate_evaluations']} duplicate evaluation(s) "
+                f"({stats['evaluations']} evaluations for "
+                f"{stats['unique_jobs']} unique jobs)"
+            )
+        if not stats["records_match_serial"]:
+            problems.append("streamed records diverged from the serial run")
+        if problems:
+            print("service load check FAILED: " + "; ".join(problems), file=sys.stderr)
+            return 1
+        print(
+            f"service load check ok: {stats['evaluations']} evaluations, "
+            f"{stats['dedup_hits']} dedup hit(s), "
+            f"{stats['cache_hits']} cache hit(s)"
+        )
     return 0
 
 
