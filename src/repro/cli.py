@@ -181,6 +181,19 @@ def build_parser() -> argparse.ArgumentParser:
             "--campaign, overrides every job's bound."
         ),
     )
+    parser.add_argument(
+        "--lint",
+        action="store_const",
+        const=1,
+        default=None,
+        dest="lint",
+        help=(
+            "run the design-rule checker (repro.lint.design) on every "
+            "synthesised netlist and exit 1 on error-severity findings.  "
+            "With --campaign, applies to every job (cache keys are "
+            "unaffected); with --input/--workload it implies --report."
+        ),
+    )
     engine = parser.add_argument_group("campaign options")
     engine.add_argument(
         "--cache-dir",
@@ -435,7 +448,37 @@ def _run_campaign(args: argparse.Namespace) -> int:
     print()
     print(result.describe())
     errors = sum(1 for record in result.records if record.status == "error")
-    return 1 if errors else 0
+    lint_errors = 0
+    if args.lint:
+        lint_errors = _report_campaign_lint(result.records)
+    return 1 if errors or lint_errors else 0
+
+
+def _report_campaign_lint(records: Sequence[EvalRecord]) -> int:
+    """Print design-lint findings from a linted campaign; return error count.
+
+    Cached (and remote) records carry no findings -- lint is volatile
+    evaluation metadata, never serialised -- so only freshly evaluated
+    records contribute.
+    """
+    lint_errors = 0
+    for record in records:
+        for finding in record.lint_findings:
+            severity = finding.get("severity", "")
+            if severity == "error":
+                lint_errors += 1
+            print(
+                f"lint: {record.label}: {finding.get('location', '')}: "
+                f"{severity} [{finding.get('rule', '')}] "
+                f"{finding.get('message', '')}",
+                file=sys.stderr,
+            )
+    fresh = sum(1 for record in records if not record.cached)
+    print(
+        f"lint: {lint_errors} error-severity finding(s) over "
+        f"{fresh} freshly evaluated record(s)"
+    )
+    return lint_errors
 
 
 def _serve(args: argparse.Namespace) -> int:
@@ -555,7 +598,7 @@ def _execute(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
             sequence,
             emit_vhdl_text=bool(args.vhdl) or not args.verilog,
             emit_verilog_text=bool(args.verilog),
-            synthesize=args.report,
+            synthesize=args.report or bool(args.lint),
             spec=spec,
             verify=not args.no_verify,
         )
@@ -570,6 +613,14 @@ def _execute(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         return 1
 
     print(result.describe())
+    lint_failed = False
+    if args.lint and result.synthesis is not None:
+        report = result.synthesis.lint_report
+        if report is not None:
+            for finding in report.findings:
+                print(f"lint: {finding.render()}", file=sys.stderr)
+            print(f"lint: {report.summary()}")
+            lint_failed = report.has_errors
     if args.vhdl:
         with open(args.vhdl, "w", encoding="utf-8") as handle:
             handle.write(result.vhdl or "")
@@ -578,7 +629,7 @@ def _execute(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         with open(args.verilog, "w", encoding="utf-8") as handle:
             handle.write(result.verilog or "")
         print(f"wrote Verilog to {args.verilog}")
-    return 0
+    return 1 if lint_failed else 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via the console script

@@ -72,6 +72,12 @@ class EvalRecord:
     form: timings differ run to run, so persisting them would break the
     byte-identical cache/JSONL invariant PRs 2-5 established -- records
     written with tracing on and off are indistinguishable on disk.
+
+    ``lint_findings`` holds the design-rule findings (as plain dicts) when
+    the job ran with ``spec.lint`` set, and is volatile for the same reason:
+    lint is a diagnostic over the evaluation, not part of it, so records
+    written with linting on and off must be indistinguishable on disk (and a
+    cached record legitimately satisfies a linted request).
     """
 
     workload: str
@@ -95,6 +101,7 @@ class EvalRecord:
     duration_s: float = 0.0
     cached: bool = False
     phase_timings: Dict[str, float] = field(default_factory=dict)
+    lint_findings: List[dict] = field(default_factory=list)
 
     @property
     def has_power(self) -> bool:
@@ -124,6 +131,7 @@ class EvalRecord:
         data = asdict(self)
         data.pop("cached")
         data.pop("phase_timings")
+        data.pop("lint_findings")
         if not self.has_power:
             data.pop("energy_per_access_fj")
             data.pop("avg_power_uw")
@@ -251,6 +259,11 @@ def evaluate_job(job: EvalJob) -> EvalRecord:
                     "energy_per_access_fj": report.energy_per_access_fj,
                     "avg_power_uw": report.average_power_uw,
                 }
+            lint_findings = (
+                [finding.to_dict() for finding in result.lint_report.findings]
+                if result.lint_report is not None
+                else []
+            )
         except (MappingError, NetlistError, ValueError) as error:
             return EvalRecord(
                 status=SKIPPED,
@@ -279,6 +292,7 @@ def evaluate_job(job: EvalJob) -> EvalRecord:
             ),
             duration_s=time.perf_counter() - start,
             phase_timings=dict(timings or {}),
+            lint_findings=lint_findings,
             **power,
             **base,
         )

@@ -90,6 +90,12 @@ class FlowSpec:
         not change any single evaluation, so it never enters job cache keys.
     max_fsm_states:
         Symbolic-FSM candidates are skipped for sequences longer than this.
+    lint:
+        Run the design-rule checker (:mod:`repro.lint.design`) on the
+        synthesised netlist (0 = off).  A *diagnostic* knob: it reports on
+        the result without changing it, so -- like ``fsm_encodings`` -- it
+        never enters job cache keys, and cached records satisfy a linted
+        request bit-for-bit.
 
     Adding a future axis is one field here: give it a default, declare it
     with :func:`_since_seed`, and every entry point, cache key, CLI override
@@ -102,6 +108,7 @@ class FlowSpec:
     power_cycles: int = _since_seed(0)
     fsm_encodings: Tuple[str, ...] = _since_seed(FSM_ENCODINGS, job_key=False)
     max_fsm_states: int = _always(512)
+    lint: int = _since_seed(0, job_key=False)
 
     # ---------------------------------------------------------- validation
     def __post_init__(self) -> None:
@@ -127,6 +134,7 @@ class FlowSpec:
         self._check_int("opt_level", minimum=0)
         self._check_int("power_cycles", minimum=0)
         self._check_int("max_fsm_states", minimum=1)
+        self._check_int("lint", minimum=0)
 
     def _check_int(self, name: str, *, minimum: int) -> None:
         value = getattr(self, name)

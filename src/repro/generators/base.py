@@ -69,6 +69,15 @@ class AddressGeneratorDesign(abc.ABC):
         ]
         return produced == expected
 
+    def lint_context(self) -> Dict[str, object]:
+        """Extra inputs for the design-rule checker (``spec.lint``).
+
+        Architectures with checkable high-level structure override this;
+        the FSM generator returns ``{"fsm": <FiniteStateMachine>}`` so the
+        reachability rule can run against the symbolic machine.
+        """
+        return {}
+
     def synthesize(
         self,
         *args,
@@ -133,7 +142,13 @@ class AddressGeneratorDesign(abc.ABC):
             "accesses": self.sequence.length,
         }
         info.update(metadata or {})
-        result = run_synthesis_flow(netlist, spec=spec, name=self.name, metadata=info)
+        result = run_synthesis_flow(
+            netlist,
+            spec=spec,
+            name=self.name,
+            metadata=info,
+            lint_context=self.lint_context() if spec.lint else None,
+        )
         if timings:
             result.stage_timings.update(timings)
         return result

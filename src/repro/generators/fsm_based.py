@@ -9,7 +9,7 @@ ADDM) or binary addresses (for a conventional RAM).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.generators.base import AddressGeneratorDesign
 from repro.hdl.netlist import Bus, Netlist
@@ -68,6 +68,10 @@ class FsmAddressGenerator(AddressGeneratorDesign):
             address_width=max(1, (self.sequence.rows * self.sequence.cols - 1).bit_length()),
             name=_sanitise(self.name),
         )
+
+    def lint_context(self) -> Dict[str, object]:
+        """Expose the symbolic machine so ``design.fsm-unreachable`` can run."""
+        return {"fsm": self.build_fsm()}
 
     @property
     def fsm_synthesis(self) -> FsmSynthesisResult:

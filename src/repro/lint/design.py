@@ -1,0 +1,437 @@
+"""Design-rule checker over the :class:`~repro.hdl.netlist.Netlist` IR.
+
+``Netlist.validate()`` raises on the first missing driver; this module is the
+reporting counterpart: it walks the whole structure, collects *every*
+violation as a :class:`~repro.lint.core.Finding` and never mutates or raises.
+That makes it safe to run on the flow's working copy after optimization and
+buffering -- the netlists whose area/delay numbers the paper figures quote --
+and on raw generated netlists in tests.
+
+Rule catalogue (ids are stable; see README "Static analysis"):
+
+========================  ========  ==================================================
+id                        severity  catches
+========================  ========  ==================================================
+``design.comb-loop``      error     combinational cycles (simulation order undefined)
+``design.undriven-net``   error     cell input or output port fed by an undriven net
+``design.multi-driven``   error     net driven by >1 output pin (or pin + input port)
+``design.floating-input`` error     unconnected declared pin / pin bound to a stale
+                                    net object no longer in the netlist's tables
+``design.dangling-net``   warning   net with no driver, no loads and no port role
+                                    (rewrite debris ``prune_dangling_nets`` removes)
+``design.unknown-cell``   error     cell type the active library cannot characterise
+``design.fanout-limit``   warning   net whose data fanout exceeds the buffering limit
+``design.missing-clock``  error     flip-flop whose CLK pin is absent or undriven
+``design.data-on-clk``    error     cell-driven (data) net loading a flop's CLK pin
+``design.fsm-unreachable``  warning   FSM states BFS cannot reach from reset
+========================  ========  ==================================================
+
+Raw generated netlists routinely carry *driven-but-unused* nets (carry-outs
+of the MSB adder stage, spare constants); those are dead logic for the DCE
+pass, not structural faults, so no rule flags them -- the clean-sweep
+invariant (zero findings on every registered style x workload) holds at O0
+and O1 alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.hdl.netlist import Cell, Net, Netlist
+from repro.hdl.primitives import PRIMITIVES
+from repro.lint.core import (
+    ERROR,
+    WARNING,
+    Finding,
+    LintReport,
+    Rule,
+    filter_suppressed,
+)
+from repro.obs import metrics, span
+
+__all__ = [
+    "DESIGN_RULES",
+    "DesignContext",
+    "DesignRule",
+    "design_rule_catalogue",
+    "lint_netlist",
+    "lint_netlist_if_enabled",
+]
+
+
+@dataclass
+class DesignContext:
+    """Everything a design rule may inspect.
+
+    ``library``/``max_fanout`` gate the rules that need them (no library ->
+    no characterisation check); ``fsm`` is supplied only by FSM-style
+    generators via ``AddressGeneratorDesign.lint_context()``.
+    """
+
+    netlist: Netlist
+    library: Optional[object] = None
+    max_fanout: Optional[int] = None
+    fsm: Optional[object] = None
+
+    def location(self, element: str) -> str:
+        """Finding location string ``<netlist>.<element>``."""
+        return f"{self.netlist.name}.{element}"
+
+
+class DesignRule(Rule):
+    """A rule over one :class:`DesignContext`."""
+
+    def check(self, ctx: DesignContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+def _known_spec(cell: Cell):
+    """``cell.spec`` or ``None`` for cell types outside ``PRIMITIVES``.
+
+    Broken-fixture cells (and hypothetical future imports) may carry types
+    the primitive table does not know; rules that need the pin declaration
+    skip those and leave the reporting to :class:`UnknownCellRule`.
+    """
+    return PRIMITIVES.get(cell.cell_type)
+
+
+def _is_clk_load(cell: Cell, pin: str) -> bool:
+    spec = _known_spec(cell)
+    return pin == "CLK" and spec is not None and spec.sequential
+
+
+class CombLoopRule(DesignRule):
+    id = "design.comb-loop"
+    severity = ERROR
+    description = "combinational cycle (no valid evaluation order exists)"
+
+    def check(self, ctx: DesignContext) -> Iterator[Finding]:
+        # Same Kahn levelisation as topological_combinational_order, but
+        # reporting the leftover (cyclic) cells instead of raising.
+        comb = [
+            c for c in ctx.netlist.cells.values()
+            if (spec := _known_spec(c)) is not None and not spec.sequential
+        ]
+        indegree: Dict[str, int] = {}
+        dependents: Dict[str, List[Cell]] = {}
+        for cell in comb:
+            count = 0
+            for net in cell.input_nets().values():
+                driver = net.driver
+                if driver is None:
+                    continue
+                driver_cell, _ = driver
+                driver_spec = _known_spec(driver_cell)
+                if driver_spec is not None and not driver_spec.sequential:
+                    count += 1
+                    dependents.setdefault(driver_cell.name, []).append(cell)
+            indegree[cell.name] = count
+        ready = [c for c in comb if indegree[c.name] == 0]
+        ordered = 0
+        while ready:
+            cell = ready.pop()
+            ordered += 1
+            for dep in dependents.get(cell.name, []):
+                indegree[dep.name] -= 1
+                if indegree[dep.name] == 0:
+                    ready.append(dep)
+        if ordered == len(comb):
+            return
+        cyclic = sorted(
+            name for name, cell in ((c.name, c) for c in comb)
+            if indegree[name] > 0
+        )
+        yield self.finding(
+            f"combinational loop through {len(cyclic)} cell(s): "
+            f"{', '.join(cyclic[:6])}{'...' if len(cyclic) > 6 else ''}",
+            location=ctx.location(cyclic[0]),
+        )
+
+
+class UndrivenNetRule(DesignRule):
+    id = "design.undriven-net"
+    severity = ERROR
+    description = "cell input or output port fed by a net with no driver"
+
+    def check(self, ctx: DesignContext) -> Iterator[Finding]:
+        for cell in ctx.netlist.cells.values():
+            if _known_spec(cell) is None:
+                continue  # reported by design.unknown-cell
+            for pin, net in cell.input_nets().items():
+                if not net.has_driver:
+                    yield self.finding(
+                        f"net {net.name!r} feeding {cell.name}.{pin} has no driver",
+                        location=ctx.location(net.name),
+                    )
+        for port, net in ctx.netlist.outputs.items():
+            if not net.has_driver:
+                yield self.finding(
+                    f"output port {port!r} net {net.name!r} has no driver",
+                    location=ctx.location(net.name),
+                )
+
+
+class MultiDrivenRule(DesignRule):
+    id = "design.multi-driven"
+    severity = ERROR
+    description = "net driven by more than one output pin (or pin + input port)"
+
+    def check(self, ctx: DesignContext) -> Iterator[Finding]:
+        drivers: Dict[int, List[str]] = {}
+        nets_by_id: Dict[int, Net] = {}
+        for cell in ctx.netlist.cells.values():
+            if _known_spec(cell) is None:
+                continue  # reported by design.unknown-cell
+            for pin, net in cell.output_nets().items():
+                drivers.setdefault(id(net), []).append(f"{cell.name}.{pin}")
+                nets_by_id[id(net)] = net
+        for net_id, pins in sorted(drivers.items(), key=lambda kv: nets_by_id[kv[0]].name):
+            net = nets_by_id[net_id]
+            if net.is_input:
+                yield self.finding(
+                    f"input port net {net.name!r} also driven by {pins[0]}",
+                    location=ctx.location(net.name),
+                )
+            if len(pins) > 1:
+                yield self.finding(
+                    f"net {net.name!r} driven by {len(pins)} pins: {', '.join(sorted(pins))}",
+                    location=ctx.location(net.name),
+                )
+
+
+class FloatingInputRule(DesignRule):
+    id = "design.floating-input"
+    severity = ERROR
+    description = "unconnected declared pin, or pin bound to a stale net object"
+
+    def check(self, ctx: DesignContext) -> Iterator[Finding]:
+        table = ctx.netlist.nets
+        for cell in ctx.netlist.cells.values():
+            spec = _known_spec(cell)
+            if spec is not None:
+                for pin in (*spec.inputs, *spec.outputs):
+                    if pin not in cell.pins:
+                        yield self.finding(
+                            f"{cell.name}.{pin} ({cell.cell_type}) is unconnected",
+                            location=ctx.location(cell.name),
+                        )
+            for pin, net in cell.pins.items():
+                if table.get(net.name) is not net:
+                    yield self.finding(
+                        f"{cell.name}.{pin} bound to net {net.name!r} that is "
+                        "no longer in the netlist (stale after a rewrite)",
+                        location=ctx.location(cell.name),
+                    )
+
+
+class DanglingNetRule(DesignRule):
+    id = "design.dangling-net"
+    severity = WARNING
+    description = "net with no driver, no loads and no port role (rewrite debris)"
+
+    def check(self, ctx: DesignContext) -> Iterator[Finding]:
+        # Exactly the prune_dangling_nets criterion: driven-but-unused nets
+        # are dead *logic* (DCE's business), not structural debris.
+        aliased = {id(net) for net in ctx.netlist.outputs.values()}
+        for name, net in ctx.netlist.nets.items():
+            if (
+                net.driver is None
+                and not net.loads
+                and not net.is_input
+                and id(net) not in aliased
+            ):
+                yield self.finding(
+                    f"net {name!r} has no driver, no loads and no port role; "
+                    "prune_dangling_nets() would remove it",
+                    location=ctx.location(name),
+                )
+
+
+class UnknownCellRule(DesignRule):
+    id = "design.unknown-cell"
+    severity = ERROR
+    description = "cell type the active cell library cannot characterise"
+
+    def check(self, ctx: DesignContext) -> Iterator[Finding]:
+        for cell in ctx.netlist.cells.values():
+            if _known_spec(cell) is None:
+                yield self.finding(
+                    f"cell {cell.name!r} has unknown primitive type {cell.cell_type!r}",
+                    location=ctx.location(cell.name),
+                )
+            elif ctx.library is not None and cell.cell_type not in ctx.library:
+                yield self.finding(
+                    f"cell {cell.name!r} type {cell.cell_type!r} is not "
+                    f"characterised by library {getattr(ctx.library, 'name', '?')!r}",
+                    location=ctx.location(cell.name),
+                )
+
+
+class FanoutLimitRule(DesignRule):
+    id = "design.fanout-limit"
+    severity = WARNING
+    description = "net whose data fanout exceeds the active buffering limit"
+
+    def check(self, ctx: DesignContext) -> Iterator[Finding]:
+        if ctx.max_fanout is None:
+            return
+        for name, net in ctx.netlist.nets.items():
+            fanout = len(net.data_loads())
+            if fanout > ctx.max_fanout:
+                yield self.finding(
+                    f"net {name!r} has data fanout {fanout} > limit {ctx.max_fanout}",
+                    location=ctx.location(name),
+                )
+
+
+class MissingClockRule(DesignRule):
+    id = "design.missing-clock"
+    severity = ERROR
+    description = "flip-flop whose CLK pin is absent or fed by an undriven net"
+
+    def check(self, ctx: DesignContext) -> Iterator[Finding]:
+        for cell in ctx.netlist.cells.values():
+            spec = _known_spec(cell)
+            if spec is None or not spec.sequential:
+                continue
+            clk = cell.pins.get("CLK")
+            if clk is None:
+                yield self.finding(
+                    f"flip-flop {cell.name!r} has no CLK connection",
+                    location=ctx.location(cell.name),
+                )
+            elif not clk.has_driver:
+                yield self.finding(
+                    f"flip-flop {cell.name!r} CLK net {clk.name!r} has no driver",
+                    location=ctx.location(cell.name),
+                )
+
+
+class DataOnClkRule(DesignRule):
+    id = "design.data-on-clk"
+    severity = ERROR
+    description = "cell-driven (data) net loading a flip-flop's CLK pin"
+
+    def check(self, ctx: DesignContext) -> Iterator[Finding]:
+        # The clock network must come straight from a top-level clock input:
+        # timing and power deliberately ignore CLK loads (Net.data_loads), so
+        # a gated/derived clock would be silently mis-modelled.
+        seen: set = set()
+        for cell in ctx.netlist.cells.values():
+            for pin, net in cell.pins.items():
+                if not _is_clk_load(cell, pin) or net.driver is None:
+                    continue
+                if id(net) in seen:
+                    continue
+                seen.add(id(net))
+                driver_cell, driver_pin = net.driver
+                yield self.finding(
+                    f"net {net.name!r} drives CLK of {cell.name!r} but is "
+                    f"itself driven by {driver_cell.name}.{driver_pin}; "
+                    "clocks must be top-level inputs",
+                    location=ctx.location(net.name),
+                )
+
+
+class FsmUnreachableRule(DesignRule):
+    id = "design.fsm-unreachable"
+    severity = WARNING
+    description = "FSM states unreachable from the reset state"
+
+    def check(self, ctx: DesignContext) -> Iterator[Finding]:
+        fsm = ctx.fsm
+        if fsm is None:
+            return
+        reached = {fsm.initial_state}
+        frontier = [fsm.initial_state]
+        while frontier:
+            nxt = fsm.next_state[frontier.pop()]
+            if nxt not in reached:
+                reached.add(nxt)
+                frontier.append(nxt)
+        unreachable = sorted(set(range(fsm.num_states)) - reached)
+        if unreachable:
+            shown = ", ".join(str(s) for s in unreachable[:8])
+            yield self.finding(
+                f"{len(unreachable)} FSM state(s) unreachable from reset "
+                f"state {fsm.initial_state}: {shown}"
+                f"{'...' if len(unreachable) > 8 else ''}",
+                location=ctx.location(getattr(fsm, 'name', 'fsm')),
+            )
+
+
+#: All design rules, in reporting order.  The id -> rule mapping is the
+#: stable public surface: tests pin it, suppressions name it.
+DESIGN_RULES: Tuple[DesignRule, ...] = (
+    CombLoopRule(),
+    UndrivenNetRule(),
+    MultiDrivenRule(),
+    FloatingInputRule(),
+    DanglingNetRule(),
+    UnknownCellRule(),
+    FanoutLimitRule(),
+    MissingClockRule(),
+    DataOnClkRule(),
+    FsmUnreachableRule(),
+)
+
+
+def design_rule_catalogue() -> List[Tuple[str, str, str]]:
+    """``(id, severity, description)`` for every design rule."""
+    return [(r.id, r.severity, r.description) for r in DESIGN_RULES]
+
+
+def lint_netlist(
+    netlist: Netlist,
+    *,
+    library: Optional[object] = None,
+    max_fanout: Optional[int] = None,
+    fsm: Optional[object] = None,
+    suppress: Sequence[str] = (),
+    rules: Optional[Iterable[DesignRule]] = None,
+) -> LintReport:
+    """Run the design rules over ``netlist`` and return a :class:`LintReport`.
+
+    Never mutates the netlist and never raises on structural problems --
+    every violation becomes a finding.  ``suppress`` drops findings by rule
+    id (report-level; the count lands in ``report.suppressed``).
+    """
+    ctx = DesignContext(
+        netlist=netlist, library=library, max_fanout=max_fanout, fsm=fsm
+    )
+    with span("lint.design"):
+        findings: List[Finding] = []
+        for rule in rules if rules is not None else DESIGN_RULES:
+            findings.extend(rule.check(ctx))
+        kept, dropped = filter_suppressed(findings, suppress)
+        report = LintReport(
+            target=netlist.name,
+            findings=kept,
+            suppressed=dropped,
+            checked=len(netlist.cells) + len(netlist.nets),
+        )
+        report.sort()
+    if report.findings:
+        metrics.incr("lint.findings", len(report.findings))
+        if report.error_count:
+            metrics.incr("lint.errors", report.error_count)
+    return report
+
+
+def lint_netlist_if_enabled(netlist, spec, *, fsm=None, suppress=()):
+    """Flow-facing gate: lint only when ``spec.lint`` is set, else ``None``.
+
+    The disabled branch is a single attribute test -- the floor test in
+    ``tests/test_lint_flow.py`` pins that it stays immeasurable, mirroring
+    the NULL_SPAN contract in :mod:`repro.obs`.
+    """
+    if not spec.lint:
+        return None
+    return lint_netlist(
+        netlist,
+        library=spec.resolve_library(),
+        max_fanout=spec.max_fanout,
+        fsm=fsm,
+        suppress=suppress,
+    )

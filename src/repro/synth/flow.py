@@ -32,6 +32,7 @@ def run_synthesis_flow(
     opt_level: Optional[int] = None,
     name: Optional[str] = None,
     metadata: Optional[Dict[str, object]] = None,
+    lint_context: Optional[Dict[str, object]] = None,
 ) -> SynthesisResult:
     """Optimize, buffer, time and measure ``netlist``; return a :class:`SynthesisResult`.
 
@@ -56,6 +57,10 @@ def run_synthesis_flow(
         Report name; defaults to the netlist name.
     metadata:
         Extra key/value pairs propagated into the result.
+    lint_context:
+        Extra inputs for the design-rule checker when ``spec.lint`` is set
+        (generators pass ``{"fsm": <FiniteStateMachine>}`` so reachability
+        can be checked).  Ignored when linting is off.
     """
     spec = resolve_spec(
         spec,
@@ -86,6 +91,20 @@ def run_synthesis_flow(
         timing = timing_report(working_copy, cell_library)
     with phase("flow.area", timings):
         area = area_report(working_copy, cell_library)
+    # Lint is a pure diagnostic over the measured netlist: default-off, and
+    # when off the cost is one falsy attribute test (floor-tested), so every
+    # pre-existing flow is bit-identical in output *and* time.
+    lint_report = None
+    if spec.lint:
+        from repro.lint.design import lint_netlist
+
+        with phase("flow.lint", timings):
+            lint_report = lint_netlist(
+                working_copy,
+                library=cell_library,
+                max_fanout=spec.max_fanout,
+                fsm=(lint_context or {}).get("fsm"),
+            )
     return SynthesisResult(
         name=name or netlist.name,
         area=area,
@@ -93,6 +112,7 @@ def run_synthesis_flow(
         buffers_inserted=buffers,
         netlist=working_copy,
         opt_report=opt_report,
+        lint_report=lint_report,
         metadata=dict(metadata or {}),
         stage_timings=timings or {},
     )

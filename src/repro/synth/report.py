@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.hdl.netlist import Netlist
+from repro.lint.core import LintReport
 from repro.synth.area import AreaReport
 from repro.synth.opt import OptReport
 from repro.synth.timing import TimingReport
@@ -39,6 +40,10 @@ class SynthesisResult:
     opt_report:
         Per-pass logic-optimization statistics (``None`` when the flow ran
         at ``opt_level=0``).
+    lint_report:
+        Design-rule findings over ``netlist`` (``None`` unless the flow ran
+        with ``spec.lint`` set).  Like ``stage_timings``, purely diagnostic:
+        never serialised into cached records.
     metadata:
         Free-form extra data (sequence length, array shape, generator style,
         mapping parameters) recorded by the experiment harnesses.
@@ -54,6 +59,7 @@ class SynthesisResult:
     buffers_inserted: int = 0
     netlist: Optional[Netlist] = None
     opt_report: Optional[OptReport] = None
+    lint_report: Optional[LintReport] = None
     metadata: Dict[str, object] = field(default_factory=dict)
     stage_timings: Dict[str, float] = field(default_factory=dict)
 

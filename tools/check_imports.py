@@ -1,12 +1,12 @@
 #!/usr/bin/env python
-"""Dead-import linter (stdlib-only, so CI and offline dev boxes agree).
+"""Dead-import linter -- thin shim over ``repro.lint.ast_rules``.
 
-Walks the given files/directories, parses every ``*.py`` with :mod:`ast`,
-and reports imported names that are never referenced in the module --
-neither as an expression name (attribute roots count: ``os.path`` uses
-``os``) nor re-exported through ``__all__``.  Exit status is non-zero when
-any finding is reported, so the CI lint step keeps dead imports dead
-without needing to ``pip install`` anything.
+Historically a standalone script; the logic now lives in the shared rule
+engine as the ``ast.dead-import`` rule (``tools/sradlint.py`` runs it along
+with the rest of the rule set).  This entry point keeps the original CLI
+contract for existing CI steps and muscle memory: same finding lines on
+stdout, same ``check_imports: N files, M finding(s)`` summary on stderr,
+same non-zero exit status when anything is found.
 
 Usage::
 
@@ -15,96 +15,37 @@ Usage::
 
 from __future__ import annotations
 
-import ast
 import os
 import sys
-from typing import Dict, Iterator, List, Tuple
+from typing import List
 
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "src")
+)
 
-def iter_python_files(paths: List[str]) -> Iterator[str]:
-    for path in paths:
-        if os.path.isfile(path):
-            if path.endswith(".py"):
-                yield path
-            continue
-        for dirpath, dirnames, filenames in os.walk(path):
-            dirnames[:] = [d for d in dirnames if not d.startswith((".", "__pycache__"))]
-            for filename in sorted(filenames):
-                if filename.endswith(".py"):
-                    yield os.path.join(dirpath, filename)
-
-
-def imported_bindings(tree: ast.AST) -> Dict[str, Tuple[int, str]]:
-    """Map bound name -> (line, display) for every import in the module."""
-    bindings: Dict[str, Tuple[int, str]] = {}
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                bound = alias.asname or alias.name.split(".")[0]
-                bindings[bound] = (node.lineno, f"import {alias.name}")
-        elif isinstance(node, ast.ImportFrom):
-            if node.module == "__future__":
-                continue
-            for alias in node.names:
-                if alias.name == "*":
-                    continue  # star imports are opaque; skip them
-                bound = alias.asname or alias.name
-                bindings[bound] = (
-                    node.lineno,
-                    f"from {'.' * node.level}{node.module or ''} import {alias.name}",
-                )
-    return bindings
-
-
-def used_names(tree: ast.AST) -> set:
-    used = set()
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Name):
-            used.add(node.id)
-        elif isinstance(node, ast.Assign):
-            # Names listed in __all__ count as (re-)exported uses.
-            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
-            if "__all__" in targets:
-                for element in ast.walk(node.value):
-                    if isinstance(element, ast.Constant) and isinstance(
-                        element.value, str
-                    ):
-                        used.add(element.value)
-    return used
-
-
-def check_file(path: str) -> List[str]:
-    with open(path, "r", encoding="utf-8") as handle:
-        source = handle.read()
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as error:
-        return [f"{path}:{error.lineno}: syntax error: {error.msg}"]
-    bindings = imported_bindings(tree)
-    if not bindings:
-        return []
-    used = used_names(tree)
-    findings = []
-    for bound, (line, display) in sorted(bindings.items(), key=lambda kv: kv[1][0]):
-        if bound not in used:
-            findings.append(f"{path}:{line}: unused import: {display!s} (as {bound})")
-    return findings
+from repro.lint.ast_rules import (  # noqa: E402
+    DeadImportRule,
+    iter_python_files,
+    lint_file,
+)
 
 
 def main(argv: List[str]) -> int:
     paths = argv or ["src", "tests", "benchmarks", "tools"]
-    findings: List[str] = []
+    rules = [DeadImportRule()]
+    lines: List[str] = []
     count = 0
     for path in iter_python_files(paths):
         count += 1
-        findings.extend(check_file(path))
-    for finding in findings:
-        print(finding)
+        findings, _suppressed = lint_file(path, rules=rules)
+        lines.extend(f"{f.location}: {f.message}" for f in findings)
+    for line in lines:
+        print(line)
     print(
-        f"check_imports: {count} files, {len(findings)} finding(s)",
+        f"check_imports: {count} files, {len(lines)} finding(s)",
         file=sys.stderr,
     )
-    return 1 if findings else 0
+    return 1 if lines else 0
 
 
 if __name__ == "__main__":
