@@ -183,15 +183,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--lint",
-        action="store_const",
-        const=1,
+        action="count",
         default=None,
         dest="lint",
         help=(
             "run the design-rule checker (repro.lint.design) on every "
             "synthesised netlist and exit 1 on error-severity findings.  "
+            "Repeat (--lint --lint) to add the SAT-backed semantic rules.  "
             "With --campaign, applies to every job (cache keys are "
             "unaffected); with --input/--workload it implies --report."
+        ),
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_const",
+        const=1,
+        default=None,
+        dest="verify",
+        help=(
+            "formally verify (SAT-based CEC, repro.verify) that every "
+            "synthesised netlist is equivalent to its pre-flow netlist; "
+            "exit 2 on proven inequivalence.  With --campaign, applies to "
+            "every job (cache keys are unaffected); with --input/--workload "
+            "it implies --report."
         ),
     )
     engine = parser.add_argument_group("campaign options")
@@ -451,6 +465,12 @@ def _run_campaign(args: argparse.Namespace) -> int:
     lint_errors = 0
     if args.lint:
         lint_errors = _report_campaign_lint(result.records)
+    verify_failures = 0
+    if args.verify:
+        verify_failures = _report_campaign_verify(result.records)
+    # Proven inequivalence outranks everything: exit 2 > 1 > 0.
+    if verify_failures:
+        return 2
     return 1 if errors or lint_errors else 0
 
 
@@ -481,6 +501,34 @@ def _report_campaign_lint(records: Sequence[EvalRecord]) -> int:
     return lint_errors
 
 
+def _report_campaign_verify(records: Sequence[EvalRecord]) -> int:
+    """Print CEC verdicts from a verified campaign; return failure count.
+
+    Same volatility contract as lint: cached (and remote) records carry no
+    verdict, so only freshly evaluated records contribute.
+    """
+    failures = 0
+    for record in records:
+        verdict = record.verify_result
+        if verdict is None:
+            continue
+        if not verdict.get("equivalent", True):
+            failures += 1
+            cex = verdict.get("counterexample") or {}
+            print(
+                f"verify: {record.label}: NOT equivalent "
+                f"({verdict.get('method', '?')}): output "
+                f"{cex.get('port', '?')} differs at cycle {cex.get('cycle', '?')}",
+                file=sys.stderr,
+            )
+    fresh = sum(1 for record in records if not record.cached)
+    print(
+        f"verify: {failures} proven-inequivalent record(s) over "
+        f"{fresh} freshly evaluated record(s)"
+    )
+    return failures
+
+
 def _serve(args: argparse.Namespace) -> int:
     """Run the campaign service until SIGINT/SIGTERM (drains, then exits)."""
     import asyncio
@@ -501,13 +549,13 @@ def _serve(args: argparse.Namespace) -> int:
         for sig in (signal.SIGINT, signal.SIGTERM):
             try:
                 loop.add_signal_handler(sig, service.request_shutdown)
-            except (NotImplementedError, RuntimeError):  # pragma: no cover
+            except (NotImplementedError, RuntimeError):  # pragma: no cover  # sradlint: disable=ast.silent-except -- platform without signal handlers; service still serves
                 pass
         await service.serve_forever()
 
     try:
         asyncio.run(_main())
-    except KeyboardInterrupt:  # pragma: no cover - signal-handler fallback
+    except KeyboardInterrupt:  # pragma: no cover  # sradlint: disable=ast.silent-except -- Ctrl-C is the documented way to stop the service
         pass
     return 0
 
@@ -598,7 +646,7 @@ def _execute(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
             sequence,
             emit_vhdl_text=bool(args.vhdl) or not args.verilog,
             emit_verilog_text=bool(args.verilog),
-            synthesize=args.report or bool(args.lint),
+            synthesize=args.report or bool(args.lint) or bool(args.verify),
             spec=spec,
             verify=not args.no_verify,
         )
@@ -621,6 +669,18 @@ def _execute(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
                 print(f"lint: {finding.render()}", file=sys.stderr)
             print(f"lint: {report.summary()}")
             lint_failed = report.has_errors
+    verify_failed = False
+    if args.verify and result.synthesis is not None:
+        verdict = result.synthesis.verify_report
+        if verdict is not None:
+            print(f"verify: {verdict.summary()}")
+            if not verdict.equivalent:
+                assert verdict.counterexample is not None
+                print(
+                    f"verify: {verdict.counterexample.describe()}",
+                    file=sys.stderr,
+                )
+                verify_failed = True
     if args.vhdl:
         with open(args.vhdl, "w", encoding="utf-8") as handle:
             handle.write(result.vhdl or "")
@@ -629,6 +689,9 @@ def _execute(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         with open(args.verilog, "w", encoding="utf-8") as handle:
             handle.write(result.verilog or "")
         print(f"wrote Verilog to {args.verilog}")
+    # Proven inequivalence outranks everything: exit 2 > 1 > 0.
+    if verify_failed:
+        return 2
     return 1 if lint_failed else 0
 
 

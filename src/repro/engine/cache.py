@@ -117,8 +117,8 @@ class CacheLock:
                 os.kill(pid, 0)
             except ProcessLookupError:
                 stale = True
-            except OSError:
-                pass  # e.g. EPERM: the holder exists but is not ours
+            except OSError:  # sradlint: disable=ast.silent-except -- EPERM: holder exists but is not ours, keep waiting
+                pass
         if stale:
             log.warning(
                 "breaking stale cache lock",
@@ -128,13 +128,13 @@ class CacheLock:
             )
             try:
                 os.unlink(self.path)
-            except OSError:
-                pass  # someone else broke it first
+            except OSError:  # sradlint: disable=ast.silent-except -- a racing writer broke the stale lock first
+                pass
 
     def release(self) -> None:
         try:
             os.unlink(self.path)
-        except OSError:
+        except OSError:  # sradlint: disable=ast.silent-except -- lock already broken as stale; release is idempotent
             pass
 
     def __enter__(self) -> "CacheLock":
@@ -396,7 +396,7 @@ class ResultCache:
                 if source != path:
                     try:
                         os.unlink(source)
-                    except OSError:
+                    except OSError:  # sradlint: disable=ast.silent-except -- concurrent compactor removed the segment first
                         pass
         # Adopt the merged view: it may contain other writers' records.
         self._records = merged
@@ -416,5 +416,5 @@ class ResultCache:
             else:
                 try:
                     os.unlink(source)
-                except OSError:
+                except OSError:  # sradlint: disable=ast.silent-except -- segment gone already; clear() is idempotent
                     pass

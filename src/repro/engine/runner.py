@@ -78,6 +78,10 @@ class EvalRecord:
     lint is a diagnostic over the evaluation, not part of it, so records
     written with linting on and off must be indistinguishable on disk (and a
     cached record legitimately satisfies a linted request).
+
+    ``verify_result`` holds the formal-equivalence verdict (as a plain dict)
+    when the job ran with ``spec.verify`` set; volatile under exactly the
+    lint contract above.
     """
 
     workload: str
@@ -102,6 +106,7 @@ class EvalRecord:
     cached: bool = False
     phase_timings: Dict[str, float] = field(default_factory=dict)
     lint_findings: List[dict] = field(default_factory=list)
+    verify_result: Optional[dict] = None
 
     @property
     def has_power(self) -> bool:
@@ -132,6 +137,7 @@ class EvalRecord:
         data.pop("cached")
         data.pop("phase_timings")
         data.pop("lint_findings")
+        data.pop("verify_result")
         if not self.has_power:
             data.pop("energy_per_access_fj")
             data.pop("avg_power_uw")
@@ -264,6 +270,11 @@ def evaluate_job(job: EvalJob) -> EvalRecord:
                 if result.lint_report is not None
                 else []
             )
+            verify_result = (
+                result.verify_report.to_dict()
+                if result.verify_report is not None
+                else None
+            )
         except (MappingError, NetlistError, ValueError) as error:
             return EvalRecord(
                 status=SKIPPED,
@@ -293,6 +304,7 @@ def evaluate_job(job: EvalJob) -> EvalRecord:
             duration_s=time.perf_counter() - start,
             phase_timings=dict(timings or {}),
             lint_findings=lint_findings,
+            verify_result=verify_result,
             **power,
             **base,
         )

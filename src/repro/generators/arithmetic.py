@@ -92,15 +92,15 @@ class ArithmeticAddressGenerator(AddressGeneratorDesign):
         ]
         summed, _carry = build_ripple_adder(netlist, Bus(state), stride_bus, prefix="acc_add")
         for i in range(self.address_width):
-            cell_type = "DFF_EN_SET" if (first_address >> i) & 1 else "DFF_EN_RST"
+            starts_high = bool((first_address >> i) & 1)
             netlist.add_cell(
-                cell_type,
+                "DFF_EN_SET" if starts_high else "DFF_EN_RST",
                 name=f"acc_ff{i}",
                 D=summed[i],
                 CLK=clk,
                 EN=next_signal,
-                RST=reset,
                 Q=state[i],
+                **{"SET" if starts_high else "RST": reset},
             )
         address_bus = Bus(state, name="address")
         netlist.add_output_bus("addr", address_bus)

@@ -79,15 +79,16 @@ def build_token_shift_register(
     previous = serial_in
     for j in range(length):
         q = netlist.new_net(f"{prefix}_q{j}_")
-        cell_type = "DFF_EN_SET" if token_at == j else "DFF_EN_RST"
+        # The token bit resets to 1 (SET pin), every other bit to 0 (RST pin).
+        holds_token = token_at == j
         netlist.add_cell(
-            cell_type,
+            "DFF_EN_SET" if holds_token else "DFF_EN_RST",
             name=f"{prefix}_ff{j}",
             D=previous,
             CLK=clk,
             EN=enable,
-            RST=reset,
             Q=q,
+            **{"SET" if holds_token else "RST": reset},
         )
         outputs.append(q)
         previous = q

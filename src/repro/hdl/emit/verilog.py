@@ -60,8 +60,7 @@ def _primitive_module(cell_type: str) -> str:
     else:
         lines.append("  always @(posedge CLK) begin")
         if "RST" in spec.inputs:
-            reset_value = "1'b1" if cell_type.endswith("SET") else "1'b0"
-            lines.append(f"    if (RST) Q <= {reset_value};")
+            lines.append("    if (RST) Q <= 1'b0;")
             prefix = "    else "
         elif "SET" in spec.inputs:
             lines.append("    if (SET) Q <= 1'b1;")

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import itertools
 import re
+import warnings
 from dataclasses import dataclass, field
 from typing import (
     Callable,
@@ -293,7 +294,7 @@ class Netlist:
         def unsubscribe() -> None:
             try:
                 self._rewrite_listeners.remove(listener)
-            except ValueError:  # already unsubscribed
+            except ValueError:  # sradlint: disable=ast.silent-except -- unsubscribe is documented as idempotent
                 pass
 
         return unsubscribe
@@ -324,6 +325,15 @@ class Netlist:
         if cell_type not in PRIMITIVES:
             raise NetlistError(f"unknown cell type {cell_type!r}")
         spec = PRIMITIVES[cell_type]
+        if cell_type == "DFF_EN_SET" and "RST" in pins and "SET" not in pins:
+            # One-release compat shim: the set-to-1 control pin was
+            # historically misnamed RST.  Remap and warn; remove next release.
+            warnings.warn(
+                "DFF_EN_SET pin 'RST' was renamed to 'SET'; connect SET instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            pins["SET"] = pins.pop("RST")
         if name is None:
             name = self._unique_name(
                 f"u{next(self._name_counter)}_{cell_type.lower()}", self._cells
@@ -455,7 +465,7 @@ class Netlist:
             else:
                 try:
                     net.loads.remove((cell, pin_name))
-                except ValueError:
+                except ValueError:  # sradlint: disable=ast.silent-except -- load entry already detached by an earlier rewrite
                     pass
         self._topo_cache = None
         if self._rewrite_listeners:

@@ -175,7 +175,7 @@ def _dff_en_rst(pins: Mapping[str, int]) -> Dict[str, int]:
 
 
 def _dff_en_set(pins: Mapping[str, int]) -> Dict[str, int]:
-    if pins["RST"]:
+    if pins["SET"]:
         return {"Q": 1}
     if pins["EN"]:
         return {"Q": _bit(pins["D"])}
@@ -242,8 +242,8 @@ _register(_spec("DFF_EN", ["D", "CLK", "EN"], ["Q"], _dff_en, sequential=True,
                 description="D flip-flop with clock enable"))
 _register(_spec("DFF_EN_RST", ["D", "CLK", "EN", "RST"], ["Q"], _dff_en_rst, sequential=True,
                 description="D flip-flop with clock enable and synchronous reset to 0"))
-_register(_spec("DFF_EN_SET", ["D", "CLK", "EN", "RST"], ["Q"], _dff_en_set, sequential=True,
-                description="D flip-flop with clock enable and synchronous reset to 1"))
+_register(_spec("DFF_EN_SET", ["D", "CLK", "EN", "SET"], ["Q"], _dff_en_set, sequential=True,
+                description="D flip-flop with clock enable and synchronous set to 1"))
 
 
 def is_sequential(cell_type: str) -> bool:
@@ -394,8 +394,8 @@ def compile_flop(cell_type: str, slot_of: Mapping[str, int]) -> Callable[[Sequen
         d, e, r = slot_of["D"], slot_of["EN"], slot_of["RST"]
         return lambda v, q: 0 if v[r] else (v[d] if v[e] else q)
     if cell_type == "DFF_EN_SET":
-        d, e, r = slot_of["D"], slot_of["EN"], slot_of["RST"]
-        return lambda v, q: 1 if v[r] else (v[d] if v[e] else q)
+        d, e, s = slot_of["D"], slot_of["EN"], slot_of["SET"]
+        return lambda v, q: 1 if v[s] else (v[d] if v[e] else q)
 
     items = tuple(slot_of.items())
 

@@ -17,6 +17,9 @@ id                        severity  catches
                                     cache keys must be pure functions of their inputs
 ``ast.mutable-default``   error     mutable default arguments (shared across calls)
 ``ast.dead-import``       error     imports never referenced in the module
+``ast.silent-except``     error     ``except`` handlers whose whole body is ``pass``/
+                                    ``...`` in library code -- swallowed errors hide
+                                    real faults; log, re-raise or justify per line
 ========================  ========  ==================================================
 
 Suppression is per line: append ``# sradlint: disable=<rule-id>`` (or
@@ -315,6 +318,46 @@ class DeadImportRule(AstRule):
                 )
 
 
+class SilentExceptRule(AstRule):
+    id = "ast.silent-except"
+    severity = ERROR
+    description = (
+        "except handler whose entire body is pass/... in library code "
+        "(swallows errors silently; log, narrow, or justify per line)"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return _is_library_code(path)
+
+    @staticmethod
+    def _is_silent(handler: ast.ExceptHandler) -> bool:
+        for stmt in handler.body:
+            if isinstance(stmt, ast.Pass):
+                continue
+            if isinstance(stmt, ast.Expr) and isinstance(
+                stmt.value, ast.Constant
+            ) and stmt.value.value is Ellipsis:
+                continue
+            return False
+        return True
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._is_silent(node):
+                continue
+            caught = (
+                ast.unparse(node.type) if node.type is not None else "BaseException"
+            )
+            yield self.finding(
+                f"except {caught} handler silently swallows the error; "
+                "log it, handle it, or add a justified per-line disable",
+                location=f"{path}:{node.lineno}",
+                line=node.lineno,
+            )
+
+
 #: All AST rules, in reporting order.
 AST_RULES: Tuple[AstRule, ...] = (
     AsyncBlockingRule(),
@@ -322,6 +365,7 @@ AST_RULES: Tuple[AstRule, ...] = (
     NondeterministicKeyRule(),
     MutableDefaultRule(),
     DeadImportRule(),
+    SilentExceptRule(),
 )
 
 

@@ -26,6 +26,16 @@ id                        severity  catches
 ``design.fsm-unreachable``  warning   FSM states BFS cannot reach from reset
 ========================  ========  ==================================================
 
+At lint level >= 2 two SAT-backed semantic rules join in (they prove
+properties with the :mod:`repro.verify` solver, so they cost real time):
+
+==============================  ========  ========================================
+id                              severity  catches
+==============================  ========  ========================================
+``design.sat-const-net``        warning   non-tie cell output provably constant
+``design.sat-redundant-logic``  info      cells provably computing equal functions
+==============================  ========  ========================================
+
 Raw generated netlists routinely carry *driven-but-unused* nets (carry-outs
 of the MSB adder stage, spare constants); those are dead logic for the DCE
 pass, not structural faults, so no rule flags them -- the clean-sweep
@@ -42,6 +52,7 @@ from repro.hdl.netlist import Cell, Net, Netlist
 from repro.hdl.primitives import PRIMITIVES
 from repro.lint.core import (
     ERROR,
+    INFO,
     WARNING,
     Finding,
     LintReport,
@@ -52,11 +63,13 @@ from repro.obs import metrics, span
 
 __all__ = [
     "DESIGN_RULES",
+    "SAT_DESIGN_RULES",
     "DesignContext",
     "DesignRule",
     "design_rule_catalogue",
     "lint_netlist",
     "lint_netlist_if_enabled",
+    "rules_for_level",
 ]
 
 
@@ -361,6 +374,194 @@ class FsmUnreachableRule(DesignRule):
             )
 
 
+# ---------------------------------------------------------------------------
+# SAT-backed semantic rules (lint level >= 2)
+# ---------------------------------------------------------------------------
+
+#: Per-query effort bound: an inconclusive query silently produces no
+#: finding, so the rules stay sound (never wrong) and bounded (never slow).
+_SAT_CONFLICT_LIMIT = 1_000
+#: Cap on equality proofs attempted per netlist by the redundancy rule.
+_SAT_PAIR_BUDGET = 32
+_SIG_WORD = (1 << 64) - 1
+
+
+def _signature_patterns(names: Sequence[str]) -> Dict[str, int]:
+    """Deterministic 64-bit stimulus words for the free variables.
+
+    A fixed-seed LCG keyed on sorted name order -- no ``random`` -- so the
+    signature buckets (and therefore the findings) are reproducible.
+    """
+    state = 0x243F6A8885A308D3  # pi digits; any fixed odd-ish seed works
+    patterns: Dict[str, int] = {}
+    for name in sorted(names):
+        state = (state * 6364136223846793005 + 1442695040888963407) & _SIG_WORD
+        patterns[name] = state
+    return patterns
+
+
+def _simulate_signatures(netlist: Netlist) -> Dict[str, int]:
+    """Bit-parallel 64-sample simulation: net name -> 64-bit signature."""
+    from repro.verify.cnf import comb_rows
+
+    free = {net.name for net in netlist.inputs.values()}
+    free.update(flop.pins["Q"].name for flop in netlist.sequential_cells())
+    free.update(
+        cell.pins[cell.spec.outputs[0]].name
+        for cell in netlist.combinational_cells()
+        if cell.cell_type in ("TIE0", "TIE1")
+    )
+    signatures = dict(_signature_patterns(free))
+    for cell in netlist.topological_combinational_order():
+        if cell.cell_type in ("TIE0", "TIE1"):
+            continue
+        spec = cell.spec
+        words = [signatures.get(cell.pins[p].name, 0) for p in spec.inputs]
+        out = 0
+        for bits, value in comb_rows(cell.cell_type):
+            if not value:
+                continue
+            term = _SIG_WORD
+            for word, bit in zip(words, bits):
+                term &= word if bit else ~word & _SIG_WORD
+            out |= term
+        signatures[cell.pins[spec.outputs[0]].name] = out
+    return signatures
+
+
+def _comb_cone_cells(netlist: Netlist) -> Dict[str, frozenset]:
+    """Net name -> names of combinational cells in its transitive fanin."""
+    cones: Dict[str, frozenset] = {}
+    for cell in netlist.topological_combinational_order():
+        spec = cell.spec
+        cone = {cell.name}
+        for pin in spec.inputs:
+            cone.update(cones.get(cell.pins[pin].name, ()))
+        cones[cell.pins[spec.outputs[0]].name] = frozenset(cone)
+    return cones
+
+
+class SatConstNetRule(DesignRule):
+    id = "design.sat-const-net"
+    severity = WARNING
+    description = "non-tie cell output provably constant (SAT; foldable logic)"
+
+    def check(self, ctx: DesignContext) -> Iterator[Finding]:
+        from repro.verify.cnf import CnfBuilder, encode_netlist
+
+        netlist = ctx.netlist
+        try:
+            order = netlist.topological_combinational_order()
+        except Exception:
+            return  # comb loop etc.; structural rules already report it
+        builder = CnfBuilder()
+        # Tie outputs stay free variables: a net is only "provably constant"
+        # when its *logic* forces the value, not when it is deliberately
+        # tied off (const strides, tied EN/SET/RST pins are a feature).
+        lits = encode_netlist(builder, netlist, free_ties=True)
+        solver = builder.solver
+        constants: Dict[str, int] = {}
+        for cell in order:
+            if cell.cell_type in ("TIE0", "TIE1"):
+                continue
+            net_name = cell.pins[cell.spec.outputs[0]].name
+            lit = lits[net_name]
+            can_be_1 = solver.solve([lit], conflict_limit=_SAT_CONFLICT_LIMIT)
+            if can_be_1 is False:
+                constants[net_name] = 0
+                continue
+            if can_be_1 is None:
+                continue
+            can_be_0 = solver.solve([-lit], conflict_limit=_SAT_CONFLICT_LIMIT)
+            if can_be_0 is False:
+                constants[net_name] = 1
+        # Report only the *roots* of each constant cone: a cell whose output
+        # is constant while none of its inputs are, so one redundancy does
+        # not cascade into a finding per downstream cell.
+        for cell in order:
+            spec = cell.spec
+            if cell.cell_type in ("TIE0", "TIE1"):
+                continue
+            net_name = cell.pins[spec.outputs[0]].name
+            if net_name not in constants:
+                continue
+            if any(cell.pins[p].name in constants for p in spec.inputs):
+                continue
+            yield self.finding(
+                f"net {net_name!r} (driven by {cell.cell_type} {cell.name!r}) "
+                f"is provably constant {constants[net_name]}",
+                location=ctx.location(net_name),
+            )
+
+
+class SatRedundantLogicRule(DesignRule):
+    id = "design.sat-redundant-logic"
+    severity = INFO
+    description = "two cells provably compute the same function (beyond structural CSE)"
+
+    def check(self, ctx: DesignContext) -> Iterator[Finding]:
+        from repro.verify.cnf import CnfBuilder, encode_netlist
+
+        netlist = ctx.netlist
+        try:
+            order = netlist.topological_combinational_order()
+        except Exception:
+            return
+        # Candidates: real logic only.  BUF outputs equal their input by
+        # construction (buffer trees are deliberate), ties are constants.
+        candidates = [
+            c for c in order if c.cell_type not in ("TIE0", "TIE1", "BUF")
+        ]
+        if len(candidates) < 2:
+            return
+        signatures = _simulate_signatures(netlist)
+        buckets: Dict[int, List[Cell]] = {}
+        for cell in candidates:
+            net_name = cell.pins[cell.spec.outputs[0]].name
+            buckets.setdefault(signatures[net_name], []).append(cell)
+        pairs = []
+        for signature in sorted(buckets):
+            group = sorted(buckets[signature], key=lambda c: c.name)
+            anchor = group[0]
+            for other in group[1:]:
+                pairs.append((anchor, other))
+        if not pairs:
+            return
+        cones = _comb_cone_cells(netlist)
+        builder = CnfBuilder()
+        lits = encode_netlist(builder, netlist, free_ties=True)
+        budget = _SAT_PAIR_BUDGET
+        for anchor, other in pairs:
+            if budget <= 0:
+                break
+            # Structural duplicates (same type, same input nets) are the
+            # sharing pass's territory; only semantic redundancy is news.
+            if anchor.cell_type == other.cell_type and {
+                p: anchor.pins[p].name for p in anchor.spec.inputs
+            } == {p: other.pins[p].name for p in other.spec.inputs}:
+                continue
+            net_a = anchor.pins[anchor.spec.outputs[0]].name
+            net_b = other.pins[other.spec.outputs[0]].name
+            # A cell feeding the other (buffer/inverter chains) is expected
+            # structure, not redundancy.
+            if anchor.name in cones.get(net_b, ()) or other.name in cones.get(
+                net_a, ()
+            ):
+                continue
+            budget -= 1
+            diff = builder.xor_lit(lits[net_a], lits[net_b])
+            verdict = builder.solver.solve(
+                [diff], conflict_limit=_SAT_CONFLICT_LIMIT
+            )
+            if verdict is False:
+                yield self.finding(
+                    f"{anchor.cell_type} {anchor.name!r} and "
+                    f"{other.cell_type} {other.name!r} provably compute the "
+                    f"same function (nets {net_a!r}, {net_b!r})",
+                    location=ctx.location(net_a),
+                )
+
+
 #: All design rules, in reporting order.  The id -> rule mapping is the
 #: stable public surface: tests pin it, suppressions name it.
 DESIGN_RULES: Tuple[DesignRule, ...] = (
@@ -376,10 +577,30 @@ DESIGN_RULES: Tuple[DesignRule, ...] = (
     FsmUnreachableRule(),
 )
 
+#: SAT-backed semantic rules, active at lint level >= 2 only: they prove
+#: properties with the :mod:`repro.verify` solver, which is orders of
+#: magnitude costlier than the structural walk, and raw O0 netlists
+#: legitimately carry foldable logic that O1 removes -- so the clean-sweep
+#: invariant above is pinned at level 1.
+SAT_DESIGN_RULES: Tuple[DesignRule, ...] = (
+    SatConstNetRule(),
+    SatRedundantLogicRule(),
+)
+
+
+def rules_for_level(level: int) -> Tuple[DesignRule, ...]:
+    """The rule set a given ``spec.lint`` level activates."""
+    if level >= 2:
+        return DESIGN_RULES + SAT_DESIGN_RULES
+    return DESIGN_RULES
+
 
 def design_rule_catalogue() -> List[Tuple[str, str, str]]:
     """``(id, severity, description)`` for every design rule."""
-    return [(r.id, r.severity, r.description) for r in DESIGN_RULES]
+    return [
+        (r.id, r.severity, r.description)
+        for r in DESIGN_RULES + SAT_DESIGN_RULES
+    ]
 
 
 def lint_netlist(
@@ -434,4 +655,5 @@ def lint_netlist_if_enabled(netlist, spec, *, fsm=None, suppress=()):
         max_fanout=spec.max_fanout,
         fsm=fsm,
         suppress=suppress,
+        rules=rules_for_level(spec.lint),
     )

@@ -59,7 +59,7 @@ class ServiceClient:
             self._writer.close()
             try:
                 await self._writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover  # sradlint: disable=ast.silent-except -- closing anyway; peer already gone
                 pass
             self._reader = self._writer = None
 

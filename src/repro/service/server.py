@@ -145,8 +145,8 @@ class CampaignService:
             try:
                 loop.add_signal_handler(sig, self.request_shutdown)
                 installed.append(sig)
-            except (NotImplementedError, RuntimeError):  # pragma: no cover
-                pass  # non-main thread or platform without signal support
+            except (NotImplementedError, RuntimeError):  # pragma: no cover  # sradlint: disable=ast.silent-except -- non-main thread / no signal support; serve anyway
+                pass
         try:
             await self.serve_forever()
         finally:
@@ -228,10 +228,10 @@ class CampaignService:
                 await self._dispatch_request(request, writer, write_lock)
                 if self._shutdown_event is not None and self._shutdown_event.is_set():
                     break
-        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
-            pass  # client vanished mid-write; nothing to answer
-        except asyncio.CancelledError:
-            pass  # server drain: close the connection and exit cleanly
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover  # sradlint: disable=ast.silent-except -- client vanished mid-write; nothing to answer
+            pass
+        except asyncio.CancelledError:  # sradlint: disable=ast.silent-except -- server drain: close the connection and exit cleanly
+            pass
         finally:
             if task is not None:
                 self._connections.discard(task)
@@ -380,7 +380,7 @@ class CampaignService:
         def push(kind: str, payload: Any) -> None:
             try:
                 loop.call_soon_threadsafe(events.put_nowait, (kind, payload))
-            except RuntimeError:  # pragma: no cover - loop closed mid-drain
+            except RuntimeError:  # pragma: no cover  # sradlint: disable=ast.silent-except -- loop closed mid-drain; events are best-effort
                 pass
 
         def pump() -> None:

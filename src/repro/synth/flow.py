@@ -96,7 +96,7 @@ def run_synthesis_flow(
     # pre-existing flow is bit-identical in output *and* time.
     lint_report = None
     if spec.lint:
-        from repro.lint.design import lint_netlist
+        from repro.lint.design import lint_netlist, rules_for_level
 
         with phase("flow.lint", timings):
             lint_report = lint_netlist(
@@ -104,7 +104,17 @@ def run_synthesis_flow(
                 library=cell_library,
                 max_fanout=spec.max_fanout,
                 fsm=(lint_context or {}).get("fsm"),
+                rules=rules_for_level(spec.lint),
             )
+    # Verification shares the lint contract: a default-off diagnostic that
+    # proves (SAT-based CEC) the measured netlist still implements the
+    # caller's netlist, without perturbing any measured figure.
+    verify_report = None
+    if spec.verify:
+        from repro.verify.cec import check_equivalence
+
+        with phase("flow.verify", timings):
+            verify_report = check_equivalence(netlist, working_copy)
     return SynthesisResult(
         name=name or netlist.name,
         area=area,
@@ -113,6 +123,7 @@ def run_synthesis_flow(
         netlist=working_copy,
         opt_report=opt_report,
         lint_report=lint_report,
+        verify_report=verify_report,
         metadata=dict(metadata or {}),
         stage_timings=timings or {},
     )

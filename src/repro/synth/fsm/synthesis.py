@@ -192,15 +192,15 @@ def synthesize_fsm(
     # initial state's code (set for 1-bits, reset for 0-bits).
     initial_code = code_of[fsm.initial_state]
     for bit in range(width):
-        cell_type = "DFF_EN_SET" if (initial_code >> bit) & 1 else "DFF_EN_RST"
+        starts_high = bool((initial_code >> bit) & 1)
         netlist.add_cell(
-            cell_type,
+            "DFF_EN_SET" if starts_high else "DFF_EN_RST",
             name=f"state_ff{bit}",
             D=next_nets[bit],
             CLK=clk,
             EN=advance,
-            RST=reset,
             Q=state_bits[bit],
+            **{"SET" if starts_high else "RST": reset},
         )
 
     elapsed = time.perf_counter() - start
@@ -244,15 +244,15 @@ def _synthesize_structural_onehot(
             d_net = build_or_tree(
                 netlist, [state_bits[i] for i in preds], prefix=f"ns{j}_or"
             )
-        cell_type = "DFF_EN_SET" if j == fsm.initial_state else "DFF_EN_RST"
+        is_initial = j == fsm.initial_state
         netlist.add_cell(
-            cell_type,
+            "DFF_EN_SET" if is_initial else "DFF_EN_RST",
             name=f"state_ff{j}",
             D=d_net,
             CLK=clk,
             EN=advance,
-            RST=reset,
             Q=state_bits[j],
+            **{"SET" if is_initial else "RST": reset},
         )
 
     for k, out_name in enumerate(fsm.output_names):

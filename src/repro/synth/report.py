@@ -10,6 +10,7 @@ from repro.lint.core import LintReport
 from repro.synth.area import AreaReport
 from repro.synth.opt import OptReport
 from repro.synth.timing import TimingReport
+from repro.verify.cec import CecResult
 
 __all__ = ["SynthesisResult"]
 
@@ -44,6 +45,11 @@ class SynthesisResult:
         Design-rule findings over ``netlist`` (``None`` unless the flow ran
         with ``spec.lint`` set).  Like ``stage_timings``, purely diagnostic:
         never serialised into cached records.
+    verify_report:
+        Formal equivalence verdict of ``netlist`` against the pre-flow
+        netlist (``None`` unless the flow ran with ``spec.verify`` set).
+        Same diagnostic contract as ``lint_report``: never serialised into
+        cached records.
     metadata:
         Free-form extra data (sequence length, array shape, generator style,
         mapping parameters) recorded by the experiment harnesses.
@@ -60,6 +66,7 @@ class SynthesisResult:
     netlist: Optional[Netlist] = None
     opt_report: Optional[OptReport] = None
     lint_report: Optional[LintReport] = None
+    verify_report: Optional[CecResult] = None
     metadata: Dict[str, object] = field(default_factory=dict)
     stage_timings: Dict[str, float] = field(default_factory=dict)
 

@@ -1,0 +1,24 @@
+"""Formal verification: SAT core, equivalence checking, cover oracle.
+
+Public surface:
+
+* :class:`repro.verify.sat.SatSolver` -- deterministic stdlib CDCL solver.
+* :func:`repro.verify.cec.check_equivalence` -- combinational/sequential
+  CEC with simulator-replayed counterexamples.
+* :func:`repro.verify.cover.verify_cover` -- SAT proof that an SOP cover
+  equals a :class:`~repro.synth.logic.truth_table.TruthTable` exactly.
+"""
+
+from .cec import CecResult, Counterexample, VerificationError, check_equivalence
+from .cover import CoverVerdict, verify_cover
+from .sat import SatSolver
+
+__all__ = [
+    "CecResult",
+    "Counterexample",
+    "VerificationError",
+    "check_equivalence",
+    "CoverVerdict",
+    "verify_cover",
+    "SatSolver",
+]

@@ -104,7 +104,7 @@ def test_every_flop_type_matches():
         "DFF_EN_RST", D=d, CLK=clk, EN=en, RST=rst, Q=netlist.net("q_enrst")
     )
     netlist.add_cell(
-        "DFF_EN_SET", D=d, CLK=clk, EN=en, RST=rst, Q=netlist.net("q_enset")
+        "DFF_EN_SET", D=d, CLK=clk, EN=en, SET=rst, Q=netlist.net("q_enset")
     )
     for name in ("q_dff", "q_rst", "q_set", "q_en", "q_enrst", "q_enset"):
         netlist.add_output(name, netlist.net(name))

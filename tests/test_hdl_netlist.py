@@ -282,3 +282,38 @@ def test_replace_net_noop_does_not_notify():
     net = netlist.net("y1")
     assert netlist.replace_net(net, net) == 0
     assert events == []
+
+
+# ---------------------------------------------------------------------------
+# DFF_EN_SET pin-rename compatibility shim (RST -> SET, one release)
+# ---------------------------------------------------------------------------
+
+def test_dff_en_set_legacy_rst_pin_is_remapped_with_warning():
+    nl = Netlist("shim")
+    clk = nl.add_input("clk")
+    d = nl.add_input("d")
+    en = nl.add_input("en")
+    rst = nl.add_input("rst")
+    q = nl.new_net("q")
+    with pytest.warns(DeprecationWarning, match="renamed to 'SET'"):
+        cell = nl.add_cell(
+            "DFF_EN_SET", name="u1", D=d, CLK=clk, EN=en, RST=rst, Q=q
+        )
+    assert "SET" in cell.pins and "RST" not in cell.pins
+    assert cell.pins["SET"].name == rst.name
+    nl.add_output("q", q)
+    nl.validate()
+
+
+def test_dff_en_set_modern_set_pin_does_not_warn(recwarn):
+    import warnings
+
+    nl = Netlist("modern")
+    clk = nl.add_input("clk")
+    d = nl.add_input("d")
+    en = nl.add_input("en")
+    s = nl.add_input("s")
+    q = nl.new_net("q")
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        nl.add_cell("DFF_EN_SET", name="u1", D=d, CLK=clk, EN=en, SET=s, Q=q)

@@ -74,7 +74,7 @@ def test_dff_reset_and_set_dominate():
     assert flop_next_state("DFF_RST", {"D": 1, "RST": 1, "Q": 1}) == 0
     assert flop_next_state("DFF_SET", {"D": 0, "SET": 1, "Q": 0}) == 1
     assert flop_next_state("DFF_EN_RST", {"D": 1, "EN": 1, "RST": 1, "Q": 1}) == 0
-    assert flop_next_state("DFF_EN_SET", {"D": 0, "EN": 1, "RST": 1, "Q": 0}) == 1
+    assert flop_next_state("DFF_EN_SET", {"D": 0, "EN": 1, "SET": 1, "Q": 0}) == 1
 
 
 def test_dff_enable_holds_state():

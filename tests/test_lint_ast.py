@@ -41,6 +41,7 @@ def test_rule_catalogue_ids_are_stable():
         "ast.nondeterministic-key",
         "ast.mutable-default",
         "ast.dead-import",
+        "ast.silent-except",
     ]
     assert len(ast_rule_catalogue()) == len(AST_RULES)
 
@@ -198,6 +199,76 @@ def test_dead_import_fires_and_respects_all_and_attribute_roots():
         "unused import: import json (as json)",
         "unused import: import sys (as system)",
     ]
+
+
+# ---------------------------------------------------------------------------
+# ast.silent-except
+# ---------------------------------------------------------------------------
+
+def test_silent_except_fires_on_pass_and_ellipsis_bodies():
+    findings, _ = _lint(
+        """
+        def f():
+            try:
+                work()
+            except ValueError:
+                pass
+            try:
+                work()
+            except (OSError, KeyError):
+                ...
+            try:
+                work()
+            except:
+                pass
+        """
+    )
+    hits = [f for f in findings if f.rule == "ast.silent-except"]
+    assert len(hits) == 3
+    assert "except ValueError" in hits[0].message
+    assert "except (OSError, KeyError)" in hits[1].message
+    assert "except BaseException" in hits[2].message  # bare except
+
+
+def test_silent_except_quiet_on_handled_bodies_and_non_library_code():
+    findings, _ = _lint(
+        """
+        def f():
+            try:
+                work()
+            except ValueError:
+                log("recovered")
+            except OSError as error:
+                raise RuntimeError("wrapped") from error
+        """
+    )
+    assert "ast.silent-except" not in _rules(findings)
+    # Scoped rule: the same silent handler outside src/repro/ is fine
+    # (tests legitimately probe error paths with pass bodies).
+    findings, _ = _lint(
+        """
+        try:
+            work()
+        except ValueError:
+            pass
+        """,
+        path=NON_LIB,
+    )
+    assert "ast.silent-except" not in _rules(findings)
+
+
+def test_silent_except_per_line_disable_honoured():
+    findings, suppressed = _lint(
+        """
+        def f():
+            try:
+                work()
+            except ValueError:  # sradlint: disable=ast.silent-except -- probe
+                pass
+        """
+    )
+    assert "ast.silent-except" not in _rules(findings)
+    assert suppressed == 1
 
 
 # ---------------------------------------------------------------------------

@@ -11,9 +11,11 @@ from repro.flow import FlowSpec
 from repro.hdl.netlist import Cell, Net, Netlist, NetlistError
 from repro.lint.design import (
     DESIGN_RULES,
+    SAT_DESIGN_RULES,
     design_rule_catalogue,
     lint_netlist,
     lint_netlist_if_enabled,
+    rules_for_level,
 )
 from repro.synth.cell_library import get_library
 from repro.synth.fsm import FiniteStateMachine
@@ -64,10 +66,12 @@ def test_rule_catalogue_ids_are_stable():
         "design.missing-clock",
         "design.data-on-clk",
         "design.fsm-unreachable",
+        "design.sat-const-net",
+        "design.sat-redundant-logic",
     ]
-    assert all(entry[1] in ("error", "warning") for entry in catalogue)
+    assert all(entry[1] in ("error", "warning", "info") for entry in catalogue)
     assert all(entry[2] for entry in catalogue)
-    assert len(catalogue) == len(DESIGN_RULES)
+    assert len(catalogue) == len(DESIGN_RULES) + 2
 
 
 # ---------------------------------------------------------------------------
@@ -270,6 +274,75 @@ def test_lint_netlist_if_enabled_gates_on_spec():
     assert lint_netlist_if_enabled(nl, FlowSpec()) is None
     report = lint_netlist_if_enabled(nl, FlowSpec(lint=1))
     assert report is not None and report.findings == []
+
+
+# ---------------------------------------------------------------------------
+# SAT-backed rules (lint level >= 2)
+# ---------------------------------------------------------------------------
+
+def test_rules_for_level_gates_the_sat_tier():
+    assert rules_for_level(1) == DESIGN_RULES
+    assert rules_for_level(2) == DESIGN_RULES + SAT_DESIGN_RULES
+    assert rules_for_level(7) == DESIGN_RULES + SAT_DESIGN_RULES
+
+
+def test_sat_const_net_fires_on_provable_constant_and_reports_only_roots():
+    nl = Netlist("constcase")
+    a = nl.add_input("a")
+    y = nl.new_net("y")
+    out = nl.new_net("out")
+    # XOR(a, a) == 0 no matter what; the downstream INV is then constant
+    # too, but only the cone root must be reported.
+    nl.add_cell("XOR2", name="u1", A=a, B=a, Y=y)
+    nl.add_cell("INV", name="u2", A=y, Y=out)
+    nl.add_output("out", out)
+    report = lint_netlist(nl, rules=rules_for_level(2))
+    hits = [f for f in report.findings if f.rule == "design.sat-const-net"]
+    assert len(hits) == 1
+    assert hits[0].severity == "warning"
+    assert "constant 0" in hits[0].message and repr(y.name) in hits[0].message
+
+
+def test_sat_const_net_quiet_on_deliberately_tied_logic():
+    nl = Netlist("tiecase")
+    a = nl.add_input("a")
+    t0 = nl.new_net("t0")
+    y = nl.new_net("y")
+    nl.add_cell("TIE0", name="t", Y=t0)
+    nl.add_cell("AND2", name="u1", A=a, B=t0, Y=y)
+    nl.add_output("y", y)
+    report = lint_netlist(nl, rules=rules_for_level(2))
+    assert not [f for f in report.findings if f.rule.startswith("design.sat")]
+
+
+def test_sat_redundant_logic_fires_on_semantic_duplicate_only():
+    nl = Netlist("redundant")
+    a = nl.add_input("a")
+    b = nl.add_input("b")
+    n1, n2, n3 = nl.new_net("n1"), nl.new_net("n2"), nl.new_net("n3")
+    # NAND2(a, b) == INV(AND2(a, b)): different structure, same function.
+    nl.add_cell("NAND2", name="u1", A=a, B=b, Y=n1)
+    nl.add_cell("AND2", name="u2", A=a, B=b, Y=n2)
+    nl.add_cell("INV", name="u3", A=n2, Y=n3)
+    nl.add_output("o1", n1)
+    nl.add_output("o2", n3)
+    report = lint_netlist(nl, rules=rules_for_level(2))
+    hits = [
+        f for f in report.findings if f.rule == "design.sat-redundant-logic"
+    ]
+    assert len(hits) == 1
+    assert hits[0].severity == "info"
+    assert "u1" in hits[0].message and "u3" in hits[0].message
+
+
+def test_sat_rules_skipped_at_level_one():
+    nl = Netlist("constcase")
+    a = nl.add_input("a")
+    y = nl.new_net("y")
+    nl.add_cell("XOR2", name="u1", A=a, B=a, Y=y)
+    nl.add_output("y", y)
+    report = lint_netlist(nl, rules=rules_for_level(1))
+    assert not [f for f in report.findings if f.rule.startswith("design.sat")]
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,86 @@
+"""Exhaustive cross-model oracle over every registered primitive.
+
+Three independent models of each cell exist in the codebase: the reference
+``eval_fn`` (dict-based), the compiled-simulator closures
+(:func:`compile_comb` / :func:`compile_flop`) and the CNF truth tables the
+verifier encodes (:mod:`repro.verify.cnf`).  CEC results are only as
+trustworthy as their agreement, so this module brute-forces all of them
+against each other over *every* pin assignment -- at most 2**4 = 16 rows per
+primitive, so the sweep is exhaustive, not sampled.
+"""
+
+import itertools
+
+import pytest
+
+from repro.hdl.primitives import (
+    PRIMITIVES,
+    combinational_eval,
+    compile_comb,
+    compile_flop,
+    flop_next_state,
+)
+from repro.verify.cnf import comb_rows, flop_rows
+
+COMB_TYPES = sorted(t for t, s in PRIMITIVES.items() if not s.sequential)
+FLOP_TYPES = sorted(t for t, s in PRIMITIVES.items() if s.sequential)
+
+
+def _assignments(names):
+    for bits in itertools.product((0, 1), repeat=len(names)):
+        yield dict(zip(names, bits)), bits
+
+
+@pytest.mark.parametrize("cell_type", COMB_TYPES)
+def test_compiled_comb_matches_eval_fn_exhaustively(cell_type):
+    spec = PRIMITIVES[cell_type]
+    assert len(spec.inputs) <= 4  # keeps the exhaustive sweep exhaustive
+    out = spec.outputs[0]
+    fn = compile_comb(cell_type, range(len(spec.inputs)))
+    for pins, bits in _assignments(spec.inputs):
+        assert fn(list(bits)) == combinational_eval(cell_type, pins)[out], (
+            f"{cell_type}: compiled model disagrees with eval_fn at {pins}"
+        )
+
+
+@pytest.mark.parametrize("cell_type", FLOP_TYPES)
+def test_compiled_flop_matches_eval_fn_exhaustively(cell_type):
+    spec = PRIMITIVES[cell_type]
+    data_pins = [p for p in spec.inputs if p != "CLK"]
+    fn = compile_flop(cell_type, {p: i for i, p in enumerate(data_pins)})
+    for pins, bits in _assignments(data_pins):
+        for q in (0, 1):
+            reference = flop_next_state(
+                cell_type, dict(pins, CLK=0, Q=q)
+            )
+            assert fn(list(bits), q) == reference, (
+                f"{cell_type}: compiled model disagrees with eval_fn "
+                f"at {pins}, Q={q}"
+            )
+
+
+@pytest.mark.parametrize("cell_type", COMB_TYPES)
+def test_cnf_comb_rows_match_eval_fn_exhaustively(cell_type):
+    spec = PRIMITIVES[cell_type]
+    out = spec.outputs[0]
+    table = dict(comb_rows(cell_type))
+    assert len(table) == 2 ** len(spec.inputs)
+    for pins, bits in _assignments(spec.inputs):
+        assert table[bits] == combinational_eval(cell_type, pins)[out], (
+            f"{cell_type}: CNF truth table disagrees with eval_fn at {pins}"
+        )
+
+
+@pytest.mark.parametrize("cell_type", FLOP_TYPES)
+def test_cnf_flop_rows_match_eval_fn_exhaustively(cell_type):
+    spec = PRIMITIVES[cell_type]
+    data_pins = [p for p in spec.inputs if p != "CLK"]
+    pin_names = tuple(data_pins) + ("Q",)
+    table = dict(flop_rows(cell_type, pin_names))
+    assert len(table) == 2 ** len(pin_names)
+    for pins, bits in _assignments(pin_names):
+        reference = flop_next_state(cell_type, dict(pins, CLK=0))
+        assert table[bits] == reference, (
+            f"{cell_type}: CNF next-state table disagrees with eval_fn "
+            f"at {pins}"
+        )

@@ -14,11 +14,17 @@ with a serial ``CampaignRunner.run``.  By default it spins an in-process
 server; ``--connect HOST:PORT`` points it at a running ``sradgen --serve``
 instead (what the CI service-smoke job does).
 
+PR 9 adds the **cec scenario**: SAT-based combinational/sequential
+equivalence checking of O0 netlists against their O1 rewrites
+(:mod:`repro.verify`), asserting every point is proven equivalent and
+recording solver effort.  ``--only cec`` runs just that scenario (the CI
+verify job uploads its JSON as an artifact).
+
 Usage::
 
     PYTHONPATH=src python tools/bench.py             # full sizes (~1 min)
     PYTHONPATH=src python tools/bench.py --smoke     # CI-sized (~15 s)
-    PYTHONPATH=src python tools/bench.py --output BENCH_PR6.json
+    PYTHONPATH=src python tools/bench.py --output BENCH_PR9.json
 
     # Load-generate against a live server and fail on any duplicate
     # evaluation or serial mismatch:
@@ -427,14 +433,82 @@ def bench_service_load(
     }
 
 
-def run_benchmarks(smoke: bool) -> Dict[str, object]:
+def bench_cec(smoke: bool) -> Dict[str, object]:
+    """SAT-based CEC (O0 netlist vs its O1 rewrite) over representative designs.
+
+    Every point must come back *proven equivalent* -- this scenario doubles
+    as a formal regression gate for the optimizer -- and the recorded wall
+    clock seeds the verification-performance trajectory (solver tuning, SAT
+    sweeping changes) the same way the QM scenarios seed minimisation.
+    """
+    from repro.verify import check_equivalence
+
+    size = 4 if smoke else 8
+    points = [
+        ("fifo", "SRAG", "two-hot"),
+        ("dct", "CntAG", "decoders"),
+        ("motion_est_read", "CntAG", "adders"),
+        ("zoombytwo", "FSM", "binary"),
+    ]
+    repeats = 3 if smoke else 1
+    total = 0.0
+    per_point: Dict[str, Dict[str, object]] = {}
+    for workload, style, variant in points:
+        pattern = build_pattern(workload, size, size)
+        netlist = build_design(pattern, style, variant).netlist
+        revised = optimize_and_measure(netlist)
+
+        def run(golden=netlist, rev=revised):
+            return check_equivalence(golden, rev)
+
+        wall, result = _best_of(run, repeats)
+        assert result.equivalent and result.proven, (
+            f"{workload}/{style}[{variant}]: {result.summary()}"
+        )
+        total += wall
+        per_point[f"{workload}/{style}[{variant}]"] = {
+            "wall_s": wall,
+            "method": result.method,
+            **result.stats,
+        }
+    return {
+        "wall_s": total,
+        "repeats": repeats,
+        "array": f"{size}x{size}",
+        "per_point": per_point,
+    }
+
+
+def optimize_and_measure(netlist):
+    """O1 rewrite on a clone -- the revised side of each CEC point."""
+    revised = netlist.clone()
+    optimize_netlist(revised, opt_level=1)
+    return revised
+
+
+def run_benchmarks(smoke: bool, only: Optional[str] = None) -> Dict[str, object]:
+    builders: Dict[str, Callable[[], object]] = {
+        "qm_fsm_tables": lambda: bench_qm_fsm_tables(smoke),
+        "qm_cover_selection": lambda: bench_qm_cover_selection(smoke),
+        "fsm_synthesis_effort": lambda: bench_fsm_synthesis_effort(smoke),
+        "opt_pipeline": lambda: bench_opt_pipeline(smoke),
+        "campaign": lambda: bench_campaign(smoke),
+        "cec": lambda: bench_cec(smoke),
+        "service_load": lambda: bench_service_load(smoke),
+    }
+    if only is not None:
+        if only not in builders:
+            raise SystemExit(
+                f"unknown scenario {only!r}; choose from {sorted(builders)}"
+            )
+        builders = {only: builders[only]}
     scenarios: Dict[str, object] = {}
-    scenarios["qm_fsm_tables"] = bench_qm_fsm_tables(smoke)
-    scenarios["qm_cover_selection"] = bench_qm_cover_selection(smoke)
-    scenarios["fsm_synthesis_effort"] = bench_fsm_synthesis_effort(smoke)
-    scenarios["opt_pipeline"] = bench_opt_pipeline(smoke)
-    scenarios.update(bench_campaign(smoke))
-    scenarios["service_load"] = bench_service_load(smoke)
+    for name, builder in builders.items():
+        result = builder()
+        if name == "campaign":  # expands into cold + warm entries
+            scenarios.update(result)
+        else:
+            scenarios[name] = result
     return {
         "schema": SCHEMA,
         "mode": "smoke" if smoke else "full",
@@ -450,8 +524,14 @@ def main(argv=None) -> int:
         help="CI-sized scenarios (seconds instead of a minute)",
     )
     parser.add_argument(
-        "--output", default="BENCH_PR7.json",
+        "--output", default="BENCH_PR9.json",
         help="destination JSON file (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--only", default=None, metavar="SCENARIO",
+        help="run a single scenario (qm_fsm_tables, qm_cover_selection, "
+             "fsm_synthesis_effort, opt_pipeline, campaign, cec, "
+             "service_load)",
     )
     parser.add_argument(
         "--service-load", action="store_true",
@@ -495,7 +575,7 @@ def main(argv=None) -> int:
             "scenarios": {"service_load": stats},
         }
     else:
-        payload = run_benchmarks(args.smoke)
+        payload = run_benchmarks(args.smoke, only=args.only)
     for name, data in payload["scenarios"].items():
         extra = ""
         if "speedup" in data:
