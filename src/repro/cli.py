@@ -43,7 +43,7 @@ import argparse
 import dataclasses
 import os
 import sys
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.analysis.explorer import explore
 from repro.core.mapping_params import MappingError
@@ -61,6 +61,9 @@ from repro.engine.sweep import (
 from repro.workloads.loopnest import AffineAccessPattern
 from repro.workloads.registry import WORKLOADS, build_pattern
 from repro.workloads.sequences import AddressSequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.retry import RetryPolicy
 
 __all__ = ["main", "build_parser"]
 
@@ -266,6 +269,42 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="port for --serve to bind (default 0: pick a free port and print it)",
     )
+    resilience = parser.add_argument_group("resilience options")
+    resilience.add_argument(
+        "--fault-plan",
+        metavar="FILE",
+        help=(
+            "arm the deterministic fault-injection plan in FILE (JSON; see "
+            "repro.resilience.faults) for this process and its pool workers "
+            "(equivalent to SRADGEN_FAULTS=FILE)"
+        ),
+    )
+    resilience.add_argument(
+        "--retry-max",
+        type=int,
+        metavar="N",
+        help=(
+            "retry transient evaluation failures up to N times with "
+            "deterministic exponential backoff (default: no retries)"
+        ),
+    )
+    resilience.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="base backoff before the first retry, doubling per attempt (default 0.05)",
+    )
+    resilience.add_argument(
+        "--rebuild-budget",
+        type=int,
+        default=2,
+        metavar="N",
+        help=(
+            "rebuild a broken worker pool up to N times before degrading to "
+            "serial evaluation (default 2)"
+        ),
+    )
     obs = parser.add_argument_group("observability options")
     obs.add_argument(
         "--trace",
@@ -435,17 +474,28 @@ def _run_campaign(args: argparse.Namespace) -> int:
         # sradgen --serve instance; the spec dictionaries on the wire
         # reproduce the exact job keys, so the server's cache behaves as if
         # the campaign ran locally.
-        from repro.service.client import run_campaign_remote
+        from repro.service.client import ServiceUnavailable, run_campaign_remote
 
         host, port = _parse_address(args.connect)
         print(f"campaign {args.campaign!r}: {len(campaign)} jobs, remote {host}:{port}")
-        result = run_campaign_remote(
-            host,
-            port,
-            campaign,
-            force=args.force,
-            progress=None if args.quiet else progress,
-        )
+        try:
+            result = run_campaign_remote(
+                host,
+                port,
+                campaign,
+                force=args.force,
+                progress=None if args.quiet else progress,
+                retry_policy=_retry_policy(args),
+            )
+        except ServiceUnavailable as error:
+            # Distinct exit code, one actionable line, no traceback: "the
+            # server is down" is an operational condition, not a crash.
+            print(
+                f"sradgen: campaign service unavailable: {error} "
+                f"(is `sradgen --serve` running on {host}:{port}?)",
+                file=sys.stderr,
+            )
+            return 3
     else:
         cache = ResultCache(args.cache_dir, backend=args.cache_backend or "jsonl")
         workers = 0 if args.serial else args.workers
@@ -457,6 +507,8 @@ def _run_campaign(args: argparse.Namespace) -> int:
             cache,
             workers=workers,
             progress=None if args.quiet else progress,
+            retry_policy=_retry_policy(args),
+            rebuild_budget=args.rebuild_budget,
         ) as runner:
             result = runner.run(campaign, force=args.force)
     print()
@@ -540,6 +592,8 @@ def _serve(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         cache_backend=args.cache_backend or "sharded",
         workers=0 if args.serial else args.workers,
+        retry_policy=_retry_policy(args),
+        rebuild_budget=args.rebuild_budget,
     )
 
     async def _main() -> None:
@@ -588,11 +642,28 @@ def _mode(args: argparse.Namespace) -> str:
     return "generate"
 
 
+def _retry_policy(args: argparse.Namespace) -> Optional["RetryPolicy"]:
+    """The RetryPolicy the --retry-* flags describe, or None (off)."""
+    if args.retry_max is None:
+        return None
+    from repro.resilience.retry import RetryPolicy
+
+    return RetryPolicy(
+        max_retries=args.retry_max, base_backoff_s=args.retry_backoff
+    )
+
+
 def _dispatch(argv: Optional[Sequence[str]]) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.trace:
         enable_tracing()
+    if args.fault_plan:
+        from repro.resilience.faults import FAULTS_ENV_VAR, FaultPlan, install_plan
+
+        install_plan(FaultPlan.load(args.fault_plan))
+        # Pool workers arm the same plan through the inherited environment.
+        os.environ[FAULTS_ENV_VAR] = args.fault_plan
     try:
         with span("sradgen", detail=_mode(args)):
             return _execute(args, parser)

@@ -26,6 +26,20 @@ the directory-level :class:`CacheLock` (so a concurrent writer can neither
 be torn nor lost), rewrites the base file with only live entries and removes
 the segment files it merged.  Every key and record stays byte-identical to
 the seed format regardless of backend.
+
+Crash safety (PR 10) completes the torn-*read* tolerance with torn-*write*
+tolerance.  Appends are atomic from the reader's point of view: the line is
+written, flushed and fsynced **before** the in-memory index acknowledges the
+key, a torn tail left by a killed writer is newline-sealed before the next
+append (so the fragment cannot glue onto a live record), and transient
+append failures are retried under a bounded
+:class:`~repro.resilience.retry.RetryPolicy`.  ``compact()`` commits through
+a temp file + ``os.replace``, so a kill at any point leaves either the old
+or the new state; a leftover temp file from an interrupted compaction is
+discarded on the next load (``cache.recovered_compactions``).  Every seam is
+instrumented with :func:`~repro.resilience.faults.fault_point` sites
+(``cache.append*``, ``cache.compact.*``, ``cache.lock.acquire``) so the
+chaos suite can prove each of these claims.
 """
 
 from __future__ import annotations
@@ -34,9 +48,11 @@ import json
 import os
 import time
 import uuid
-from typing import Dict, Iterator, List, Optional, Union
+from typing import Dict, Iterator, List, Optional, Set, Union
 
 from repro.obs import log, metrics
+from repro.resilience.faults import FaultInjected, fault_data, fault_point
+from repro.resilience.retry import RetryPolicy, call_with_retry
 
 __all__ = [
     "CacheLock",
@@ -51,6 +67,10 @@ __all__ = [
 _RESULTS_FILE = "results.jsonl"
 _SEGMENTS_DIR = "segments"
 _LOCK_FILE = "cache.lock"
+
+#: Bounded retry for appends: transient write failures (including injected
+#: torn writes, which the seal protocol repairs) self-heal within ~0.1s.
+_APPEND_POLICY = RetryPolicy(max_retries=3, base_backoff_s=0.002, max_backoff_s=0.05)
 
 
 class CacheLockTimeout(TimeoutError):
@@ -88,10 +108,11 @@ class CacheLock:
         deadline = time.monotonic() + self.timeout
         os.makedirs(os.path.dirname(self.path), exist_ok=True)
         while True:
+            fault_point("cache.lock.acquire")
             try:
                 fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
             except FileExistsError:
-                self._break_if_stale()
+                self._break_if_stale(deadline)
                 if time.monotonic() >= deadline:
                     raise CacheLockTimeout(
                         f"could not acquire cache lock {self.path} "
@@ -103,14 +124,22 @@ class CacheLock:
                     handle.write(str(os.getpid()))
                 return self
 
-    def _break_if_stale(self) -> None:
+    def _break_if_stale(self, deadline: Optional[float] = None) -> None:
         """Remove the lock file if its holder is provably gone."""
         try:
             age = time.time() - os.stat(self.path).st_mtime
             with open(self.path, "r", encoding="utf-8") as handle:
                 pid = int(handle.read().strip() or "0")
         except (OSError, ValueError):
-            return  # vanished or half-written mid-race; retry normally
+            # Vanished or half-written mid-race.  Re-check the deadline
+            # before retrying: a lock file that keeps vanishing under stat
+            # must not spin the acquire loop past its timeout.
+            if deadline is not None and time.monotonic() >= deadline:
+                raise CacheLockTimeout(
+                    f"could not acquire cache lock {self.path} "
+                    f"within {self.timeout}s"
+                )
+            return
         stale = age > self.stale_after_s
         if not stale and pid:
             try:
@@ -120,11 +149,13 @@ class CacheLock:
             except OSError:  # sradlint: disable=ast.silent-except -- EPERM: holder exists but is not ours, keep waiting
                 pass
         if stale:
+            metrics.incr("cache.locks_broken")
             log.warning(
                 "breaking stale cache lock",
                 component="cache",
                 path=self.path,
                 holder_pid=pid,
+                holder_age_s=round(age, 3),
             )
             try:
                 os.unlink(self.path)
@@ -236,6 +267,9 @@ class ResultCache:
         self.backend = make_backend(backend)
         self._records: Dict[str, dict] = {}
         self._loaded = directory is None
+        # Paths whose tail this instance has verified ends in a newline; a
+        # write failure invalidates the entry so the next append re-seals.
+        self._sealed: Set[str] = set()
 
     # ------------------------------------------------------------------- io
     @property
@@ -302,24 +336,118 @@ class ResultCache:
         if self._loaded:
             return
         self._loaded = True
+        self._recover_interrupted_compaction()
         for path in self.data_paths():
             self._read_lines(path, self._records)
         metrics.incr("cache.loads")
         metrics.gauge("cache.entries", len(self._records))
 
+    def _recover_interrupted_compaction(self) -> None:
+        """Discard a temp file left by a compaction that was killed mid-commit.
+
+        The commit protocol (temp write -> ``os.replace``) means a leftover
+        ``results.jsonl.tmp`` is always a dead compaction's possibly-partial
+        merge: the base file and segments it read still hold every record,
+        so the temp file is simply dropped.  A *live* compaction holds the
+        cache lock, so the temp file is only touched once the lock is gone
+        or provably stale.
+        """
+        if self.directory is None:
+            return
+        tmp_path = os.path.join(self.directory, _RESULTS_FILE + ".tmp")
+        if not os.path.exists(tmp_path):
+            return
+        lock_path = os.path.join(self.directory, _LOCK_FILE)
+        if os.path.exists(lock_path):
+            CacheLock(self.directory)._break_if_stale()
+            if os.path.exists(lock_path):
+                return  # live compaction owns the temp file
+        try:
+            os.unlink(tmp_path)
+        except OSError:  # sradlint: disable=ast.silent-except -- another loader recovered it first
+            return
+        metrics.incr("cache.recovered_compactions")
+        log.warning(
+            "recovered interrupted compaction (discarded temp file)",
+            component="cache",
+            path=tmp_path,
+        )
+
     def _append(self, key: str, record: dict) -> None:
         if self.directory is None:
             return
+        fault_point("cache.append")
         path = self.backend.append_path(self.directory)
         os.makedirs(os.path.dirname(path), exist_ok=True)
-        line = json.dumps({"key": key, "record": record}, sort_keys=True)
-        if self.backend.locks_appends:
-            with self.lock():
-                with open(path, "a", encoding="utf-8") as handle:
-                    handle.write(line + "\n")
-        else:
+        line = json.dumps({"key": key, "record": record}, sort_keys=True) + "\n"
+
+        def attempt() -> None:
+            if self.backend.locks_appends:
+                with self.lock():
+                    self._write_line(path, line)
+            else:
+                self._write_line(path, line)
+
+        call_with_retry(
+            attempt,
+            _APPEND_POLICY,
+            retry_on=(OSError, FaultInjected),
+            metric="cache.append_retries",
+        )
+
+    def _write_line(self, path: str, line: str) -> None:
+        """One durable append: seal any torn tail, write, flush, fsync.
+
+        The append is only acknowledged (by returning) once the bytes are
+        flushed to the OS; callers index the key *after* this returns, so a
+        reader can never observe a key whose record is not on disk.
+        """
+        payload = fault_data("cache.append.write", line)
+        if path not in self._sealed:
+            self._seal_tail(path)
+        try:
             with open(path, "a", encoding="utf-8") as handle:
-                handle.write(line + "\n")
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+        except Exception:
+            self._sealed.discard(path)
+            raise
+        fault_point("cache.append.flush")
+        if payload is not line:
+            # An injected torn write left a fragment on disk, exactly as a
+            # kill mid-write would.  Fail the append (it was never acked);
+            # the retry re-seals the fragment and lands the full line.
+            self._sealed.discard(path)
+            raise FaultInjected(f"torn append left {len(payload)} bytes in {path}")
+
+    def _seal_tail(self, path: str) -> None:
+        """Newline-terminate a torn trailing line before appending to it.
+
+        A writer killed mid-append leaves a partial last line; appending
+        straight after it would glue the new record onto the fragment and
+        corrupt *both*.  Sealing turns the fragment into its own (skipped,
+        ``cache.torn_lines``) line so the new record stays intact.
+        """
+        try:
+            size = os.path.getsize(path)
+        except OSError:
+            self._sealed.add(path)  # file does not exist yet
+            return
+        if size:
+            with open(path, "rb+") as handle:
+                handle.seek(-1, os.SEEK_END)
+                if handle.read(1) != b"\n":
+                    handle.write(b"\n")
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                    metrics.incr("cache.sealed_tails")
+                    log.warning(
+                        "sealed torn trailing line before append",
+                        component="cache",
+                        path=path,
+                    )
+        self._sealed.add(path)
 
     def lock(self, *, timeout: float = 10.0) -> CacheLock:
         """The directory-level lock guarding compaction and sharded appends."""
@@ -349,10 +477,15 @@ class ResultCache:
         return record
 
     def put(self, key: str, record: dict) -> None:
-        """Store ``record`` under ``key`` (persisted immediately)."""
+        """Store ``record`` under ``key`` (persisted immediately).
+
+        The durable append happens *before* the in-memory index update, so
+        a key this cache acknowledges is always recoverable from disk; if
+        the append fails (after bounded retries) the key stays invisible.
+        """
         self._load()
-        self._records[key] = record
         self._append(key, record)
+        self._records[key] = record
         metrics.incr("cache.appends")
         metrics.gauge("cache.entries", len(self._records))
 
@@ -384,6 +517,7 @@ class ResultCache:
             merged: Dict[str, dict] = {}
             for source in sources:
                 self._read_lines(source, merged)
+            fault_point("cache.compact.merge")
             tmp_path = path + ".tmp"
             with open(tmp_path, "w", encoding="utf-8") as handle:
                 for key, record in merged.items():
@@ -391,7 +525,14 @@ class ResultCache:
                         json.dumps({"key": key, "record": record}, sort_keys=True)
                     )
                     handle.write("\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            # Commit point: up to here a kill leaves the old state (plus a
+            # temp file the next load discards); from the replace on, the
+            # new state.  There is no in-between.
+            fault_point("cache.compact.commit")
             os.replace(tmp_path, path)
+            fault_point("cache.compact.cleanup")
             for source in sources:
                 if source != path:
                     try:

@@ -35,10 +35,12 @@ from repro.obs import (
     span,
     tracing_enabled,
 )
+from repro.resilience.faults import fault_point
 from repro.synth.power import estimate_power
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
     from repro.engine.scheduler import Scheduler
+    from repro.resilience.retry import RetryPolicy
 
 __all__ = ["CampaignResult", "CampaignRunner", "EvalRecord", "evaluate_job"]
 
@@ -160,7 +162,23 @@ def _warm_worker() -> None:
     import and registry-construction cost overlaps with job submission and
     every job -- including the first one a worker sees -- pays only for its
     own evaluation.
+
+    Also detaches the signal plumbing a fork-started worker inherits from
+    an asyncio parent: ``loop.add_signal_handler`` registers a wakeup fd
+    (a self-pipe the event loop reads), and after ``fork`` the worker
+    shares that pipe.  A signal delivered to the *worker* -- e.g. the
+    SIGTERM ``ProcessPoolExecutor`` sends its survivors when a sibling
+    crashes and the pool breaks -- would be written into the shared pipe
+    and replayed as the *parent's* signal, gracefully shutting down the
+    campaign service mid-rebuild.  Resetting the dispositions and wakeup
+    fd keeps worker-directed signals in the worker.
     """
+    import signal
+
+    signal.set_wakeup_fd(-1)
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
     from repro.hdl import primitives
     from repro.synth import cell_library
     from repro.workloads.registry import available_workloads
@@ -185,6 +203,7 @@ def _evaluate_batch(jobs: List[EvalJob], collect_spans: bool = False) -> BatchRe
     batch runs under a fresh tracer whose span trees are serialised into the
     return value so the parent can re-parent them under its dispatch span.
     """
+    fault_point("scheduler.worker")
     before = metrics.snapshot()
     if collect_spans:
         previous = get_tracer()
@@ -229,6 +248,9 @@ def evaluate_job(job: EvalJob) -> EvalRecord:
     )
     with span("evaluate_job", detail=job.label):
         try:
+            # Inside the try: an injected exception classifies exactly like
+            # a real one (deterministic -> skipped, transient -> error).
+            fault_point("runner.evaluate")
             with phase("job.pattern", timings):
                 pattern = job.pattern()
             if job.style == "FSM" and pattern.trip_count > spec.max_fsm_states:
@@ -408,13 +430,21 @@ class CampaignRunner:
         that spreads the pending jobs over roughly four batches per worker,
         amortising per-submit pickling without starving the pool of
         parallelism; ``1`` restores one-future-per-job dispatch.
+    retry_policy:
+        Optional :class:`~repro.resilience.retry.RetryPolicy` forwarded to
+        the private scheduler: transient (``error``) records are re-run
+        under bounded deterministic backoff before being surfaced.
+    rebuild_budget:
+        How many broken-pool rebuilds the private scheduler performs before
+        degrading to serial evaluation (default 2).
     scheduler:
         An existing :class:`~repro.engine.scheduler.Scheduler` to run
         against instead of constructing a private one -- this is how
         several runners (or the campaign service) share one pool, one cache
         and one in-flight dedup table.  Mutually exclusive with ``cache`` /
-        ``workers`` / ``chunk_size``, which configure the private
-        scheduler.  A shared scheduler is *not* closed by the runner.
+        ``workers`` / ``chunk_size`` / ``retry_policy`` /
+        ``rebuild_budget``, which configure the private scheduler.  A
+        shared scheduler is *not* closed by the runner.
 
     One worker pool is kept alive across the runner's lifetime, so a
     sequence of ``run()`` calls (a campaign sweep, an explorer session)
@@ -432,13 +462,22 @@ class CampaignRunner:
         workers: Optional[int] = None,
         progress: Optional[Callable[[EvalRecord, int, int], None]] = None,
         chunk_size: Optional[int] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        rebuild_budget: Optional[int] = None,
         scheduler: Optional["Scheduler"] = None,
     ):
         if scheduler is not None:
-            if cache is not None or workers is not None or chunk_size is not None:
+            if (
+                cache is not None
+                or workers is not None
+                or chunk_size is not None
+                or retry_policy is not None
+                or rebuild_budget is not None
+            ):
                 raise ValueError(
                     "scheduler= is mutually exclusive with cache=/workers=/"
-                    "chunk_size=; configure the shared Scheduler instead"
+                    "chunk_size=/retry_policy=/rebuild_budget=; configure "
+                    "the shared Scheduler instead"
                 )
             self._scheduler = scheduler
             self._owns_scheduler = False
@@ -448,7 +487,11 @@ class CampaignRunner:
             from repro.engine.scheduler import Scheduler
 
             self._scheduler = Scheduler(
-                cache, workers=workers, chunk_size=chunk_size
+                cache,
+                workers=workers,
+                chunk_size=chunk_size,
+                retry_policy=retry_policy,
+                rebuild_budget=2 if rebuild_budget is None else rebuild_budget,
             )
             self._owns_scheduler = True
         self.progress = progress

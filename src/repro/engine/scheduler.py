@@ -28,6 +28,20 @@ Completed non-error records are written to the scheduler's
 retired, so a concurrently arriving request can never miss both and
 re-evaluate.  Error records stay uncached (transient failures must not
 replay forever) -- the policy :class:`CampaignRunner` has always had.
+
+Self-healing (PR 10) extends that error policy from "don't cache failures"
+to "recover from them":
+
+* a broken process pool is **rebuilt** (fresh warmed pool, one rebuild per
+  pool generation, ``scheduler.pool_rebuilds``) and the doomed batches'
+  still-in-flight jobs are re-enqueued on it -- never re-evaluating a job
+  whose record already landed.  Only after ``rebuild_budget`` rebuilds does
+  the scheduler degrade to serial in-process evaluation for good.
+* an optional :class:`~repro.resilience.retry.RetryPolicy` re-runs jobs
+  whose records came back transient (``status == "error"``), after the
+  policy's deterministic backoff, bounded by its attempt budget
+  (``scheduler.retries``).  Deterministic failures (SKIPPED) are never
+  retried, and synthetic cancellation records bypass retry entirely.
 """
 
 from __future__ import annotations
@@ -51,8 +65,14 @@ from repro.engine.cache import ResultCache
 from repro.engine.jobs import EvalJob
 from repro.engine.runner import ERROR, EvalRecord, _warm_worker
 from repro.obs import get_tracer, log, metrics, span, tracing_enabled
+from repro.resilience.faults import fault_point
+from repro.resilience.retry import RetryPolicy
 
 __all__ = ["Scheduler", "SchedulerTimeout", "Submission"]
+
+#: Queue sentinel :meth:`Submission.cancel` uses to wake a consumer blocked
+#: in ``queue.get`` so cancellation cannot leave a reader wedged forever.
+_WAKE = object()
 
 
 class SchedulerTimeout(TimeoutError):
@@ -134,6 +154,8 @@ class Submission:
                         f"submission timed out after {timeout}s with "
                         f"{self.expected - delivered} record(s) outstanding"
                     ) from None
+            if record is _WAKE:
+                continue  # cancel() woke us; the loop re-checks _cancelled
             delivered += 1
             yield record
 
@@ -152,6 +174,7 @@ class Submission:
         self._cancelled = True
         abandoned, self._serial = self._serial, []
         self._scheduler._abandon(self, abandoned)
+        self._queue.put(_WAKE)  # unblock a consumer waiting in results()
 
     # ------------------------------------------------------------- delivery
     def _deliver(self, record: EvalRecord) -> None:
@@ -173,6 +196,15 @@ class Scheduler:
         Jobs per worker submission.  ``None`` (the default) spreads each
         submission's owned jobs over roughly four batches per worker;
         ``1`` restores one-future-per-job dispatch.
+    retry_policy:
+        When set, jobs whose records come back transient (``error``) are
+        re-evaluated after the policy's deterministic backoff, up to its
+        attempt budget.  ``None`` (the default) keeps the historical
+        single-attempt behaviour.
+    rebuild_budget:
+        How many times a broken process pool is rebuilt (with its doomed
+        in-flight jobs re-enqueued) before the scheduler degrades to serial
+        in-process evaluation for the rest of its life.
 
     One scheduler may serve any number of concurrent clients; submissions
     from different threads share the pool, the cache and the in-flight
@@ -186,6 +218,8 @@ class Scheduler:
         *,
         workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        rebuild_budget: int = 2,
     ):
         self.cache = cache if cache is not None else ResultCache()
         if workers is None:
@@ -194,9 +228,17 @@ class Scheduler:
         if chunk_size is not None and chunk_size < 1:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         self.chunk_size = chunk_size
+        self.retry_policy = retry_policy
+        if rebuild_budget < 0:
+            raise ValueError(f"rebuild_budget must be >= 0, got {rebuild_budget}")
+        self.rebuild_budget = rebuild_budget
         self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+        self._pool_generation = 0
+        self._rebuilds_used = 0
+        self._serial_only = False
         self._lock = threading.Lock()
         self._inflight: Dict[str, _Flight] = {}
+        self._attempts: Dict[str, int] = {}
 
     # ---------------------------------------------------------------- pool
     def _get_pool(self) -> concurrent.futures.ProcessPoolExecutor:
@@ -206,6 +248,69 @@ class Scheduler:
                 max_workers=self.workers, initializer=_warm_worker
             )
         return self._pool
+
+    def _handle_broken_pool(
+        self,
+        batch: List[EvalJob],
+        generation: int,
+        error: BaseException,
+    ) -> bool:
+        """Self-heal a pool-level failure; return whether the batch was saved.
+
+        The first doomed future of a pool generation retires the broken
+        pool and (budget permitting) builds its replacement; later doomed
+        futures from the same generation just ride the fresh pool.  Each
+        future re-enqueues only its batch's jobs that are *still* in the
+        in-flight table -- a job whose record already landed is never
+        evaluated twice.  Returns ``False`` when the rebuild budget is
+        spent (the caller falls back to in-process evaluation).
+        """
+        with self._lock:
+            jobs = [job for job in batch if job.key in self._inflight]
+            if generation == self._pool_generation:
+                # First doomed future of this generation: retire the pool.
+                # No cancel_futures -- a broken pool's pending futures are
+                # already failed, and each recovers its own batch here.
+                if self._pool is not None:
+                    self._pool.shutdown(wait=False)
+                    self._pool = None
+                if self._rebuilds_used >= self.rebuild_budget:
+                    self._serial_only = True
+                    log.warning(
+                        "pool rebuild budget exhausted; degrading to serial",
+                        component="scheduler",
+                        budget=self.rebuild_budget,
+                        error=str(error),
+                    )
+                    return False
+                self._rebuilds_used += 1
+                self._pool_generation += 1
+                metrics.incr("scheduler.pool_rebuilds")
+                log.warning(
+                    "rebuilding broken process pool",
+                    component="scheduler",
+                    generation=self._pool_generation,
+                    rebuilds_used=self._rebuilds_used,
+                    error=str(error),
+                )
+            elif self._serial_only:
+                return False
+            if not jobs:
+                return True  # every record already landed; nothing to redo
+            try:
+                pool = self._get_pool()
+                future = pool.submit(
+                    _runner._evaluate_batch, jobs, tracing_enabled()
+                )
+                generation = self._pool_generation
+            except Exception:  # pool construction/submit itself failed
+                self._serial_only = True
+                return False
+        metrics.incr("scheduler.jobs_requeued", len(jobs))
+        future.add_done_callback(
+            lambda f, b=jobs, g=generation: self._on_batch_done(f, b, g)
+        )
+        return True
 
     def _discard_pool(self) -> None:
         # getattr: __del__ may run on a half-constructed scheduler whose
@@ -264,6 +369,7 @@ class Scheduler:
         else is owned by this submission and dispatched.  Returns the
         :class:`Submission` to iterate for records.
         """
+        fault_point("scheduler.submit")
         submission = Submission(self)
         owned: List[EvalJob] = []
         with span("scheduler.submit"):
@@ -302,19 +408,26 @@ class Scheduler:
     def _dispatch(self, jobs: List[EvalJob], submission: Submission) -> None:
         if not jobs:
             return
-        if self.workers > 1 and len(jobs) > 1:
+        if self.workers > 1 and len(jobs) > 1 and not self._serial_only:
+            dispatched = 0
             try:
-                pool = self._get_pool()
+                with self._lock:
+                    pool = self._get_pool()
+                    generation = self._pool_generation
                 batches = self._chunked(jobs)
                 # Whether workers should trace is decided once at dispatch:
                 # each batch runs under its own worker-side tracer and ships
                 # the span trees back for re-parenting.
                 trace_workers = tracing_enabled()
                 for batch in batches:
+                    fault_point("scheduler.dispatch")
                     future = pool.submit(_runner._evaluate_batch, batch, trace_workers)
                     future.add_done_callback(
-                        lambda f, batch=batch: self._on_batch_done(f, batch)
+                        lambda f, batch=batch, g=generation: self._on_batch_done(
+                            f, batch, g
+                        )
                     )
+                    dispatched += len(batch)
                 metrics.incr("campaign.batches_dispatched", len(batches))
                 metrics.gauge("campaign.chunk_size", max(len(b) for b in batches))
                 return
@@ -323,32 +436,48 @@ class Scheduler:
                 ImportError,
                 BrokenProcessPool,
                 RuntimeError,
-            ) as error:  # pragma: no cover - environment dependent
+            ) as error:
                 # Sandboxes without fork support or /dev/shm land here; the
                 # submission still completes, just serially.  The broken
                 # pool is discarded so a later submit can try a fresh one.
+                # Batches that made it onto the pool before the failure stay
+                # there (their callbacks publish them); only the unsubmitted
+                # remainder moves to the serial queue -- nothing runs twice.
                 metrics.incr("campaign.pool_fallbacks")
                 log.warning(
                     "process pool unavailable; falling back to serial",
                     component="scheduler",
                     error=str(error),
+                    dispatched=dispatched,
                 )
                 self._discard_pool()
+                jobs = jobs[dispatched:]
         # Serial path: evaluation happens in the consuming thread, one job
         # per queue drain, so results still stream as they complete.
         submission._serial.extend(jobs)
 
-    def _on_batch_done(self, future: "concurrent.futures.Future", batch: List[EvalJob]) -> None:
+    def _on_batch_done(
+        self,
+        future: "concurrent.futures.Future",
+        batch: List[EvalJob],
+        generation: int = 0,
+    ) -> None:
         """Pool-future completion: recover failures, then publish records.
 
-        Runs on the pool's completion machinery (or inline for an
-        already-finished future), so it must never raise.
+        ``generation`` is the pool generation the batch was dispatched on,
+        so a pool-level failure can tell "my pool broke" from "my pool was
+        already replaced by an earlier failure's rebuild".  Runs on the
+        pool's completion machinery (or inline for an already-finished
+        future), so it must never raise.
         """
+        retryable = True
         try:
             records, span_dicts, counter_delta = future.result()
         except concurrent.futures.CancelledError:
             # close() cancelled the queued batch; resolve its flights with
-            # transient error records so no joined submission hangs.
+            # transient error records so no joined submission hangs.  These
+            # synthetic records are final: never retried.
+            retryable = False
             records = [
                 self._synthetic_error(job, "evaluation cancelled by scheduler shutdown")
                 for job in batch
@@ -356,16 +485,19 @@ class Scheduler:
             span_dicts, counter_delta = [], {}
         except (OSError, BrokenProcessPool) as error:
             # Pool-level breakage: every remaining future is doomed too.
-            # Each recovers its own batch in-process; the pool is discarded
-            # so the next submission starts fresh.
+            # Self-heal -- rebuild the pool once per generation and
+            # re-enqueue this batch's still-in-flight jobs on it; only with
+            # the rebuild budget spent does the batch fall back to
+            # in-process evaluation.
             metrics.incr("campaign.pool_fallbacks")
             log.warning(
-                "process pool broke mid-dispatch; re-evaluating batch in-process",
+                "process pool broke mid-dispatch",
                 component="scheduler",
                 error=str(error),
                 jobs=len(batch),
             )
-            self._discard_pool()
+            if self._handle_broken_pool(batch, generation, error):
+                return  # re-enqueued on the rebuilt pool (or already done)
             records = [_runner.evaluate_job(job) for job in batch]
             metrics.incr("scheduler.evaluations", len(records))
             span_dicts, counter_delta = [], {}
@@ -394,14 +526,64 @@ class Scheduler:
             metrics.merge_counters(counter_delta)
         if span_dicts:
             get_tracer().adopt(span_dicts)
+        if retryable:
+            self._publish(records, batch)
+        else:
+            for record in records:
+                self._complete(record)
+
+    def _publish(self, records: List[EvalRecord], batch: List[EvalJob]) -> None:
+        """Complete each record, diverting transient failures into retry."""
+        jobs_by_key = {job.key: job for job in batch}
         for record in records:
+            job = jobs_by_key.get(record.key)
+            if job is not None and self._maybe_retry(job, record):
+                continue  # a retry timer owns this job's completion now
             self._complete(record)
+
+    def _maybe_retry(self, job: EvalJob, record: EvalRecord) -> bool:
+        """Schedule a re-evaluation for a transient failure, if allowed.
+
+        Only ``error`` (transient, uncached) records are candidates; the
+        configured :class:`~repro.resilience.retry.RetryPolicy` bounds the
+        attempts and dictates the deterministic backoff.  The retry runs on
+        a daemon timer thread and publishes through the normal completion
+        path, so joined submissions transparently receive the final record.
+        """
+        if self.retry_policy is None or record.status != ERROR:
+            return False
+        with self._lock:
+            attempt = self._attempts.get(job.key, 0) + 1
+            if attempt > self.retry_policy.max_retries:
+                self._attempts.pop(job.key, None)
+                return False
+            self._attempts[job.key] = attempt
+        metrics.incr("scheduler.retries")
+        delay = self.retry_policy.backoff_s(attempt)
+        log.warning(
+            "retrying transient evaluation failure",
+            component="scheduler",
+            key=job.key,
+            attempt=attempt,
+            backoff_s=round(delay, 4),
+            note=record.note,
+        )
+        timer = threading.Timer(delay, self._retry_job, args=(job,))
+        timer.daemon = True
+        timer.start()
+        return True
+
+    def _retry_job(self, job: EvalJob) -> None:
+        """Timer body: re-evaluate one job in-process and publish it."""
+        record = _runner.evaluate_job(job)
+        metrics.incr("scheduler.evaluations")
+        self._publish([record], [job])
 
     def _evaluate_serial(self, job: EvalJob) -> None:
         """Evaluate one owned job in the calling thread and publish it."""
         record = _runner.evaluate_job(job)
         metrics.incr("scheduler.evaluations")
-        self._complete(record)
+        self._publish([record], [job])
 
     # ------------------------------------------------------------ completion
     def _complete(self, record: EvalRecord) -> None:
@@ -416,7 +598,20 @@ class Scheduler:
                 # Error records are transient (a worker OOM, say) -- caching
                 # them would replay the failure forever; only determinate
                 # outcomes are persisted.
-                self.cache.put(record.key, record.to_dict())
+                try:
+                    self.cache.put(record.key, record.to_dict())
+                except Exception as error:
+                    # A failed cache write must not swallow the record:
+                    # subscribers still get their answer, the key just is
+                    # not persisted (a later campaign re-evaluates it).
+                    metrics.incr("scheduler.cache_write_failures")
+                    log.warning(
+                        "cache write failed; delivering record uncached",
+                        component="scheduler",
+                        key=record.key,
+                        error=f"{type(error).__name__}: {error}",
+                    )
+            self._attempts.pop(record.key, None)
             flight = self._inflight.pop(record.key, None)
             subscribers = list(flight.subscribers) if flight is not None else []
             metrics.gauge("scheduler.inflight", len(self._inflight))

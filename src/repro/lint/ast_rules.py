@@ -20,6 +20,10 @@ id                        severity  catches
 ``ast.silent-except``     error     ``except`` handlers whose whole body is ``pass``/
                                     ``...`` in library code -- swallowed errors hide
                                     real faults; log, re-raise or justify per line
+``ast.bare-retry-loop``   error     ``while True`` loops that catch an exception and
+                                    ``continue`` without any backoff/budget call --
+                                    hand-rolled retry storms; go through
+                                    ``repro.resilience.retry.RetryPolicy``
 ========================  ========  ==================================================
 
 Suppression is per line: append ``# sradlint: disable=<rule-id>`` (or
@@ -358,6 +362,78 @@ class SilentExceptRule(AstRule):
             )
 
 
+#: Call-name substrings that mark a retry loop as disciplined: it waits
+#: (backoff/sleep/poll) or consults a budget/policy before looping again.
+_RETRY_DISCIPLINE_RE = re.compile(
+    r"backoff|sleep|wait|poll|retry|budget|deadline|attempt"
+)
+
+
+class BareRetryLoopRule(AstRule):
+    id = "ast.bare-retry-loop"
+    severity = ERROR
+    description = (
+        "while True loop that catches an exception and continues with no "
+        "backoff/budget call (retry storm; use resilience.retry.RetryPolicy)"
+    )
+
+    def applies_to(self, path: str) -> bool:
+        return _is_library_code(path)
+
+    @classmethod
+    def _handler_retries(cls, handler: ast.ExceptHandler) -> bool:
+        """Whether the handler loops again (contains a top-loop continue)."""
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Continue):
+                return True
+            # A nested loop owns its own continue statements; stop there.
+            if isinstance(node, (ast.While, ast.For)) and node is not handler:
+                return False
+        return False
+
+    @classmethod
+    def _is_disciplined(cls, loop: ast.While) -> bool:
+        """Whether the loop shows any bound: a wait, a budget, a counter."""
+        for node in ast.walk(loop):
+            if isinstance(node, ast.Call):
+                dotted = _dotted(node.func)
+                if dotted and _RETRY_DISCIPLINE_RE.search(".".join(dotted).lower()):
+                    return True
+            # An attempt counter compared or raised on is a budget too.
+            if isinstance(node, (ast.Name, ast.Attribute)):
+                text = getattr(node, "attr", None) or getattr(node, "id", "")
+                if _RETRY_DISCIPLINE_RE.search(text.lower()):
+                    return True
+        return False
+
+    def check(self, tree: ast.Module, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.While):
+                continue
+            test = node.test
+            infinite = isinstance(test, ast.Constant) and test.value is True
+            if not infinite:
+                continue
+            handlers = [
+                handler
+                for stmt in node.body
+                if isinstance(stmt, ast.Try)
+                for handler in stmt.handlers
+            ]
+            retrying = [h for h in handlers if self._handler_retries(h)]
+            if not retrying:
+                continue
+            if self._is_disciplined(node):
+                continue
+            yield self.finding(
+                "while True retry loop with no backoff or budget; route "
+                "retries through repro.resilience.retry (RetryPolicy / "
+                "call_with_retry)",
+                location=f"{path}:{node.lineno}",
+                line=node.lineno,
+            )
+
+
 #: All AST rules, in reporting order.
 AST_RULES: Tuple[AstRule, ...] = (
     AsyncBlockingRule(),
@@ -366,6 +442,7 @@ AST_RULES: Tuple[AstRule, ...] = (
     MutableDefaultRule(),
     DeadImportRule(),
     SilentExceptRule(),
+    BareRetryLoopRule(),
 )
 
 

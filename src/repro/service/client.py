@@ -10,35 +10,64 @@ with exactly the semantics of a local
 :meth:`CampaignRunner.run <repro.engine.runner.CampaignRunner.run>` --
 records in campaign order, duplicates resolved to one evaluation,
 ``cached`` flags preserved.
+
+Connection trouble surfaces as the typed
+:class:`~repro.service.protocol.ServiceUnavailable` (never a raw
+``OSError``), and resilience is opt-in via a
+:class:`~repro.resilience.retry.RetryPolicy`: :meth:`ServiceClient.connect`
+retries with deterministic backoff, and :meth:`ServiceClient.run_campaign`
+survives a mid-stream disconnect by reconnecting and re-submitting *only*
+the keys it has no record for yet -- records that completed server-side in
+the meantime come back as cache hits, so a resumed campaign costs zero
+duplicate evaluations.
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextlib
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.engine.jobs import Campaign
-from repro.engine.runner import CampaignResult, EvalRecord
+from repro.engine.runner import ERROR, CampaignResult, EvalRecord
+from repro.obs import log, metrics
+from repro.resilience.faults import fault_point
+from repro.resilience.retry import RetryPolicy
 from repro.service.protocol import (
     MAX_LINE_BYTES,
     ServiceError,
+    ServiceUnavailable,
     decode_message,
     encode_message,
     job_to_wire,
 )
 
-__all__ = ["ServiceClient", "run_campaign_remote"]
+__all__ = ["ServiceClient", "ServiceUnavailable", "run_campaign_remote"]
 
 #: Progress callback: ``(record_event_dict)`` for each streamed record.
 RecordCallback = Callable[[Dict[str, Any]], None]
 
 
 class ServiceClient:
-    """One JSON-lines connection to a :class:`CampaignService`."""
+    """One JSON-lines connection to a :class:`CampaignService`.
 
-    def __init__(self, host: str, port: int):
+    ``retry_policy`` (optional) arms the self-healing paths: connect
+    attempts retry under it, and :meth:`run_campaign` reconnects and
+    resumes after a mid-stream disconnect.  Without a policy every
+    connection failure is raised (as :class:`ServiceUnavailable`) on first
+    occurrence -- the historical behaviour, minus the raw ``OSError``.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        retry_policy: Optional[RetryPolicy] = None,
+    ):
         self.host = host
         self.port = port
+        self.retry_policy = retry_policy
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
 
@@ -50,9 +79,37 @@ class ServiceClient:
         await self.close()
 
     async def connect(self) -> None:
-        self._reader, self._writer = await asyncio.open_connection(
-            self.host, self.port, limit=MAX_LINE_BYTES
-        )
+        """Open the connection, retrying under the client's policy.
+
+        Raises :class:`ServiceUnavailable` once the attempts (1 without a
+        policy; ``1 + max_retries`` with one) are exhausted.
+        """
+        attempt = 0
+        while True:
+            try:
+                fault_point("client.connect")
+                self._reader, self._writer = await asyncio.open_connection(
+                    self.host, self.port, limit=MAX_LINE_BYTES
+                )
+                return
+            except OSError as error:
+                attempt += 1
+                policy = self.retry_policy
+                if policy is None or attempt > policy.max_retries:
+                    raise ServiceUnavailable(
+                        f"cannot connect to campaign service at "
+                        f"{self.host}:{self.port}: {error}"
+                    ) from error
+                metrics.incr("client.connect_retries")
+                log.warning(
+                    "connect failed; retrying",
+                    component="client",
+                    host=self.host,
+                    port=self.port,
+                    attempt=attempt,
+                    error=str(error),
+                )
+                await asyncio.sleep(policy.backoff_s(attempt))
 
     async def close(self) -> None:
         if self._writer is not None:
@@ -67,15 +124,24 @@ class ServiceClient:
     async def _send(self, message: Dict[str, Any]) -> None:
         if self._writer is None:
             raise ServiceError("client is not connected")
-        self._writer.write(encode_message(message))
-        await self._writer.drain()
+        try:
+            self._writer.write(encode_message(message))
+            await self._writer.drain()
+        except OSError as error:
+            raise ServiceUnavailable(f"connection lost while sending: {error}") from error
 
     async def _recv(self) -> Dict[str, Any]:
         if self._reader is None:
             raise ServiceError("client is not connected")
-        line = await self._reader.readline()
+        try:
+            # Inside the OSError wrapper on purpose: an injected connection
+            # fault surfaces exactly like a real one (ServiceUnavailable).
+            fault_point("client.stream")
+            line = await self._reader.readline()
+        except OSError as error:
+            raise ServiceUnavailable(f"connection lost mid-stream: {error}") from error
         if not line:
-            raise ServiceError("server closed the connection")
+            raise ServiceUnavailable("server closed the connection")
         return decode_message(line)
 
     async def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
@@ -111,6 +177,10 @@ class ServiceClient:
         Each record event carries the server's ``record`` dictionary (the
         exact cached form) plus its ``cached`` flag; the accepted event's
         counters land on the returned end event under ``"accepted"``.
+        Server ``heartbeat`` events are consumed silently.  A lost
+        connection raises :class:`ServiceUnavailable`; records already
+        streamed were delivered through ``on_record`` first, which is what
+        lets :meth:`run_campaign` resume without re-requesting them.
         """
         message: Dict[str, Any] = {"op": "jobs", "jobs": wire_jobs, "force": force}
         if timeout is not None:
@@ -131,6 +201,8 @@ class ServiceClient:
                 records.append(event)
                 if on_record is not None:
                     on_record(event)
+            elif kind == "heartbeat":
+                continue  # keep-alive during a quiet evaluation stretch
             elif kind == "end":
                 event["accepted"] = accepted
                 return records, event
@@ -152,19 +224,84 @@ class ServiceClient:
         The grid is shipped job-by-job (the explore path), so anything a
         local runner could evaluate works remotely -- no need for the
         campaign to be registered server-side.
+
+        With a ``retry_policy`` on the client, a dropped connection is
+        healed in place: reconnect (with backoff), then re-submit only the
+        jobs whose records have not arrived yet.  Keys the server finished
+        during the outage are answered from its cache, so the resume is
+        idempotent -- one evaluation per unique key, disconnect or not.
+
+        Transient (``error``-status) records are likewise not taken as
+        final while the policy has budget: a resume can race the server's
+        own cleanup of the connection it lost and be handed that doomed
+        submission's synthetic cancellation records, so the client
+        re-requests those keys (``client.error_retries``) before accepting
+        an error as the campaign's answer.
         """
-        record_events, _ = await self.run_jobs(
-            [job_to_wire(job) for job in campaign.jobs],
-            force=force,
-            timeout=timeout,
-            on_record=on_record,
-        )
         by_key: Dict[str, EvalRecord] = {}
-        for event in record_events:
+
+        def collect(event: Dict[str, Any]) -> None:
             record = EvalRecord.from_dict(
                 event["record"], cached=bool(event.get("cached"))
             )
             by_key[record.key] = record
+            if on_record is not None:
+                on_record(event)
+
+        reconnects = 0
+        error_rounds = 0
+        while True:
+            policy = self.retry_policy
+            retriable: List[str] = []
+            if policy is not None and error_rounds < policy.max_retries:
+                retriable = [
+                    key for key, rec in by_key.items() if rec.status == ERROR
+                ]
+            pending = [
+                job
+                for job in campaign.jobs
+                if job.key not in by_key or job.key in retriable
+            ]
+            if not pending:
+                break
+            if retriable:
+                error_rounds += 1
+                metrics.incr("client.error_retries")
+                log.warning(
+                    "re-requesting transient error records",
+                    component="client",
+                    keys=len(retriable),
+                    round=error_rounds,
+                )
+                for key in retriable:
+                    del by_key[key]
+                await asyncio.sleep(policy.backoff_s(error_rounds))
+            try:
+                await self.run_jobs(
+                    [job_to_wire(job) for job in pending],
+                    force=force,
+                    timeout=timeout,
+                    on_record=collect,
+                )
+            except ServiceUnavailable as error:
+                reconnects += 1
+                policy = self.retry_policy
+                if policy is None or reconnects > policy.max_retries:
+                    raise
+                metrics.incr("client.reconnects")
+                log.warning(
+                    "connection lost mid-campaign; reconnecting to resume",
+                    component="client",
+                    received=len(by_key),
+                    missing=len(pending),
+                    reconnect=reconnects,
+                    error=str(error),
+                )
+                await asyncio.sleep(policy.backoff_s(reconnects))
+                with contextlib.suppress(Exception):
+                    await self.close()
+                await self.connect()
+                continue
         missing = [job.key for job in campaign.jobs if job.key not in by_key]
         if missing:
             raise ServiceError(
@@ -184,17 +321,19 @@ def run_campaign_remote(
     force: bool = False,
     timeout: Optional[float] = None,
     progress: Optional[Callable[[EvalRecord, int, int], None]] = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> CampaignResult:
     """Synchronous remote equivalent of ``CampaignRunner(...).run(campaign)``.
 
     ``progress`` mirrors the runner's callback signature
     (``progress(record, done, total)``); ``done``/``total`` count *unique*
     server-side records, which for duplicate-free campaigns equals the
-    runner's counting.
+    runner's counting.  ``retry_policy`` arms connect-retry and mid-stream
+    reconnect-and-resume (see :meth:`ServiceClient.run_campaign`).
     """
 
     async def _run() -> CampaignResult:
-        async with ServiceClient(host, port) as client:
+        async with ServiceClient(host, port, retry_policy=retry_policy) as client:
             on_record: Optional[RecordCallback] = None
             if progress is not None:
 

@@ -36,6 +36,12 @@ One ``{"event": "accepted", "jobs": N, "unique": U, "cached": C,
 Failures produce ``{"event": "error", "error": "..."}`` instead of
 ``end``; the connection stays usable.
 
+During a quiet stretch of an evaluation stream (no record for
+``heartbeat_interval`` seconds) the server interleaves
+``{"event": "heartbeat", "done": i}`` lines.  They are keep-alives, not
+data: clients skip them, and a send failure on one is how the server
+detects a vanished client and cancels its orphaned submission.
+
 The formats here are deliberately the canonical dictionaries PR 4
 established -- a request round-trips through
 :meth:`FlowSpec.to_spec`/:meth:`FlowSpec.from_spec`, so the server-side
@@ -55,6 +61,7 @@ __all__ = [
     "MAX_LINE_BYTES",
     "PROTOCOL_VERSION",
     "ServiceError",
+    "ServiceUnavailable",
     "decode_message",
     "encode_message",
     "job_from_wire",
@@ -72,6 +79,17 @@ MAX_LINE_BYTES = 1 << 20
 
 class ServiceError(Exception):
     """A malformed or unserviceable protocol message."""
+
+
+class ServiceUnavailable(ServiceError):
+    """The service cannot be reached (or the connection was lost).
+
+    The typed wrapper around ``ConnectionRefusedError`` / ``OSError`` /
+    mid-stream EOF that clients raise instead of leaking raw socket
+    errors: callers can distinguish "the server is down" (retryable,
+    actionable, exit code 3 in the CLI) from a protocol-level
+    :class:`ServiceError` (a bug or a bad request).
+    """
 
 
 def encode_message(message: Dict[str, Any]) -> bytes:

@@ -36,6 +36,8 @@ from repro.engine.jobs import EvalJob
 from repro.engine.scheduler import Scheduler, SchedulerTimeout
 from repro.engine.sweep import build_campaign
 from repro.obs import log, metrics, span
+from repro.resilience.faults import fault_point
+from repro.resilience.retry import RetryPolicy
 from repro.service.protocol import (
     MAX_LINE_BYTES,
     PROTOCOL_VERSION,
@@ -59,14 +61,23 @@ class CampaignService:
         the service is exactly the concurrent-writer scenario the
         sharded-segment backend exists for (another process -- a CLI run, a
         compaction -- may be appending to the same directory).
-    workers / chunk_size:
-        Forwarded to the private :class:`Scheduler`.
+    workers / chunk_size / retry_policy / rebuild_budget:
+        Forwarded to the private :class:`Scheduler` (``retry_policy`` /
+        ``rebuild_budget`` are the self-healing knobs from
+        :mod:`repro.resilience`).
     request_timeout:
         Default per-request evaluation deadline in seconds (a request may
         lower it with its own ``timeout`` field).
     drain_timeout:
         How long :meth:`shutdown` waits for in-flight requests before
         closing their connections.
+    heartbeat_interval:
+        Seconds of per-request silence before the server emits a
+        ``heartbeat`` event.  Heartbeats keep long evaluations from looking
+        like dead connections *and* probe the socket: a client that
+        vanished mid-evaluation is detected at the next beat and its
+        submission is cancelled instead of pumping into the void.  ``0``
+        disables them.
     scheduler:
         Share an existing scheduler instead of constructing one (its cache
         and pool then outlive the service).
@@ -80,8 +91,11 @@ class CampaignService:
         cache_backend: str = "sharded",
         workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        rebuild_budget: Optional[int] = None,
         request_timeout: float = 600.0,
         drain_timeout: float = 10.0,
+        heartbeat_interval: float = 5.0,
         scheduler: Optional[Scheduler] = None,
     ):
         if scheduler is not None:
@@ -92,10 +106,17 @@ class CampaignService:
         else:
             if cache is None:
                 cache = ResultCache(cache_dir, backend=cache_backend)
-            self._scheduler = Scheduler(cache, workers=workers, chunk_size=chunk_size)
+            self._scheduler = Scheduler(
+                cache,
+                workers=workers,
+                chunk_size=chunk_size,
+                retry_policy=retry_policy,
+                rebuild_budget=2 if rebuild_budget is None else rebuild_budget,
+            )
             self._owns_scheduler = True
         self.request_timeout = request_timeout
         self.drain_timeout = drain_timeout
+        self.heartbeat_interval = heartbeat_interval
         self._server: Optional[asyncio.AbstractServer] = None
         self._requests: "set[asyncio.Task]" = set()
         self._connections: "set[asyncio.Task]" = set()
@@ -203,8 +224,9 @@ class CampaignService:
         if task is not None:
             self._connections.add(task)
         try:
-            while True:
+            while True:  # sradlint: disable=ast.bare-retry-loop -- request read loop: each pass consumes a new protocol line, not a retry
                 try:
+                    fault_point("service.read")
                     line = await reader.readline()
                 except (
                     asyncio.LimitOverrunError,
@@ -402,9 +424,26 @@ class CampaignService:
         done = 0
         try:
             while True:
-                kind, payload = await events.get()
+                if self.heartbeat_interval > 0:
+                    try:
+                        kind, payload = await asyncio.wait_for(
+                            events.get(), timeout=self.heartbeat_interval
+                        )
+                    except asyncio.TimeoutError:
+                        # Quiet interval: beat.  A failed beat means the
+                        # client is gone -- the except below cleans up.
+                        metrics.incr("service.heartbeats")
+                        await self._send(
+                            writer,
+                            write_lock,
+                            {**envelope, "event": "heartbeat", "done": done},
+                        )
+                        continue
+                else:
+                    kind, payload = await events.get()
                 if kind == "record":
                     done += 1
+                    fault_point("service.handler")
                     await self._send(
                         writer,
                         write_lock,
@@ -443,6 +482,21 @@ class CampaignService:
                         },
                     )
                     return
+        except (ConnectionResetError, BrokenPipeError, OSError) as error:
+            # The client vanished mid-stream (or a beat found the socket
+            # dead).  Cancel the orphaned submission so the pump thread and
+            # the scheduler's serial queue unblock; evaluations already on
+            # the pool complete and land in the cache regardless, so a
+            # reconnecting client resumes from cached records.
+            metrics.incr("service.orphaned_submissions")
+            log.warning(
+                "client lost mid-evaluation; cancelling orphaned submission",
+                component="service",
+                delivered=done,
+                expected=submission.expected,
+                error=f"{type(error).__name__}: {error}",
+            )
+            submission.cancel()
         except asyncio.CancelledError:
             # Drain timeout expired during shutdown: abandon the submission
             # so the pump thread (and any joined clients) unblock.
@@ -459,5 +513,6 @@ class CampaignService:
     ) -> None:
         data = encode_message(message)
         async with write_lock:
+            fault_point("service.write")
             writer.write(data)
             await writer.drain()

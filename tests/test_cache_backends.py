@@ -4,6 +4,7 @@ import json
 import multiprocessing
 import os
 import threading
+import time
 
 import pytest
 
@@ -233,3 +234,63 @@ def test_multi_writer_process_stress(tmp_path):
     assert len(reloaded) == writers * per_writer + 3
     for i in range(3):
         assert reloaded.get(f"shared-{i}") == {"value": i}
+
+
+def _slow_process_writer(directory, index, per_writer):
+    cache = ResultCache(directory, backend="sharded")
+    for i in range(per_writer):
+        cache.put(f"p{index}-k{i}", {"writer": index, "i": i})
+        time.sleep(0.002)  # stretch the run so compactions overlap appends
+
+
+def _killed_compactor(directory, site):
+    from repro.resilience.faults import FaultPlan, FaultRule, install_plan
+
+    install_plan(FaultPlan([FaultRule(site=site, action="exit")]))
+    ResultCache(directory, backend="sharded").compact()
+
+
+def test_concurrent_writers_survive_killed_compactions(tmp_path):
+    """Compactors kill -9'd at every commit-protocol point, under live
+    concurrent appenders: every acknowledged record survives, the dead
+    compactors' stale locks are broken, and a final compaction converges."""
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platform dependent
+        pytest.skip("fork start method unavailable")
+    writers, per_writer = 4, 25
+    appenders = [
+        ctx.Process(
+            target=_slow_process_writer, args=(str(tmp_path), i, per_writer)
+        )
+        for i in range(writers)
+    ]
+    for process in appenders:
+        process.start()
+    # Three compaction attempts die mid-flight while the appenders run.
+    for site in (
+        "cache.compact.merge",
+        "cache.compact.commit",
+        "cache.compact.cleanup",
+    ):
+        compactor = ctx.Process(target=_killed_compactor, args=(str(tmp_path), site))
+        compactor.start()
+        compactor.join(30)
+        assert compactor.exitcode == 86  # the exit action's default code
+    for process in appenders:
+        process.join(60)
+        assert process.exitcode == 0
+
+    expected = {
+        f"p{index}-k{i}": {"writer": index, "i": i}
+        for index in range(writers)
+        for i in range(per_writer)
+    }
+    merged = ResultCache(str(tmp_path))
+    assert {key: merged.get(key) for key in expected} == expected
+    assert len(merged) == len(expected)
+    merged.compact()  # the survivors' compaction finishes the job
+    assert os.listdir(tmp_path / "segments") == []
+    reloaded = ResultCache(str(tmp_path))
+    assert len(reloaded) == len(expected)
+    assert reloaded.get("p3-k7") == {"writer": 3, "i": 7}

@@ -42,6 +42,7 @@ def test_rule_catalogue_ids_are_stable():
         "ast.mutable-default",
         "ast.dead-import",
         "ast.silent-except",
+        "ast.bare-retry-loop",
     ]
     assert len(ast_rule_catalogue()) == len(AST_RULES)
 

@@ -20,11 +20,16 @@ equivalence checking of O0 netlists against their O1 rewrites
 recording solver effort.  ``--only cec`` runs just that scenario (the CI
 verify job uploads its JSON as an artifact).
 
+PR 10 adds the **resilience_overhead scenario**: per-call cost of the
+disarmed :mod:`repro.resilience.faults` fault points that now sit on the
+cache/scheduler/service hot paths, asserted against the same floor the
+test suite pins (they must stay one global load + compare).
+
 Usage::
 
     PYTHONPATH=src python tools/bench.py             # full sizes (~1 min)
     PYTHONPATH=src python tools/bench.py --smoke     # CI-sized (~15 s)
-    PYTHONPATH=src python tools/bench.py --output BENCH_PR9.json
+    PYTHONPATH=src python tools/bench.py --output BENCH_PR10.json
 
     # Load-generate against a live server and fail on any duplicate
     # evaluation or serial mismatch:
@@ -347,6 +352,7 @@ def bench_service_load(
     clients: int = 4,
     campaigns_per_client: int = 2,
     connect: Optional[Tuple[str, int]] = None,
+    retry_policy=None,
 ) -> Dict[str, object]:
     """N clients x M campaigns against one shared scheduler and cache.
 
@@ -357,8 +363,14 @@ def bench_service_load(
     with a serial in-process ``CampaignRunner.run``
     (``records_match_serial``; ``duration_s`` zeroed on both sides -- wall
     clock is the one field that legitimately differs run to run).
+
+    ``retry_policy`` (a :class:`repro.resilience.retry.RetryPolicy`, armed
+    by ``--retry-max``) lets the load run survive injected connection
+    faults -- the chaos-smoke CI job arms ``SRADGEN_FAULTS`` on both sides
+    and still requires zero duplicates and serial-identical records.
     """
     del smoke  # one size: the contention pattern, not the grid, is the load
+    from repro.obs import metrics as local_metrics
     from repro.service.client import run_campaign_remote
 
     campaign = build_campaign("smoke")
@@ -377,10 +389,15 @@ def bench_service_load(
         results: List[object] = [None] * clients
         errors: List[str] = []
 
+        heal_counters = ("client.reconnects", "client.error_retries")
+        heals_before = {name: local_metrics.counter(name) for name in heal_counters}
+
         def client_worker(index: int) -> None:
             try:
                 for _ in range(campaigns_per_client):
-                    results[index] = run_campaign_remote(host, port, campaign)
+                    results[index] = run_campaign_remote(
+                        host, port, campaign, retry_policy=retry_policy
+                    )
             except Exception as error:  # noqa: BLE001 - recorded, then raised
                 errors.append(f"client {index}: {type(error).__name__}: {error}")
 
@@ -430,6 +447,10 @@ def bench_service_load(
         "dedup_hits": delta.get("scheduler.dedup_hits", 0),
         "cache_hits": delta.get("cache.hits", 0),
         "records_match_serial": records_match_serial,
+        "client_reconnects": local_metrics.counter("client.reconnects")
+        - heals_before["client.reconnects"],
+        "client_error_retries": local_metrics.counter("client.error_retries")
+        - heals_before["client.error_retries"],
     }
 
 
@@ -486,6 +507,68 @@ def optimize_and_measure(netlist):
     return revised
 
 
+#: Per-call ceiling for a disarmed fault point -- the same floor
+#: tests/test_resilience_faults.py pins (matches the NULL_SPAN bound).
+FAULT_POINT_FLOOR_S = 2.5e-6
+
+
+def bench_resilience_overhead(smoke: bool) -> Dict[str, object]:
+    """Disarmed fault-point cost on the hot paths, pinned to the floor.
+
+    Measures three shapes: a disarmed :func:`fault_point`, a disarmed
+    :func:`fault_data` (identity pass-through of a cache-append payload),
+    and a plan armed for *other* sites (the cost a chaos run imposes on
+    seams it is not targeting).  Each must stay under
+    ``FAULT_POINT_FLOOR_S`` per call or the zero-overhead contract -- what
+    justifies compiling the sites into production paths permanently -- is
+    broken.
+    """
+    from repro.resilience.faults import (
+        FaultPlan,
+        FaultRule,
+        clear_plan,
+        fault_data,
+        fault_point,
+        install_plan,
+    )
+
+    n = 200_000 if smoke else 1_000_000
+    payload = '{"key": "0" * 64, "record": {"status": "ok"}}\n'
+
+    def timed(fn) -> float:
+        start = time.perf_counter()
+        for _ in range(n):
+            fn()
+        return time.perf_counter() - start
+
+    clear_plan()
+    disarmed_point = timed(lambda: fault_point("cache.append"))
+    disarmed_data = timed(lambda: fault_data("cache.append.write", payload))
+    install_plan(FaultPlan([FaultRule(site="some.other.site")]))
+    try:
+        armed_unmatched = timed(lambda: fault_point("cache.append"))
+    finally:
+        clear_plan()
+
+    per_call = {
+        "disarmed_fault_point_ns": disarmed_point / n * 1e9,
+        "disarmed_fault_data_ns": disarmed_data / n * 1e9,
+        "armed_unmatched_site_ns": armed_unmatched / n * 1e9,
+    }
+    for name, nanos in per_call.items():
+        assert nanos < FAULT_POINT_FLOOR_S * 1e9, (
+            f"{name}: {nanos:.0f} ns/call breaks the "
+            f"{FAULT_POINT_FLOOR_S * 1e9:.0f} ns zero-overhead floor"
+        )
+    return {
+        "wall_s": disarmed_point + disarmed_data + armed_unmatched,
+        "repeats": 1,
+        "calls_per_shape": n,
+        "floor_ns_per_call": FAULT_POINT_FLOOR_S * 1e9,
+        **per_call,
+    }
+
+
 def run_benchmarks(smoke: bool, only: Optional[str] = None) -> Dict[str, object]:
     builders: Dict[str, Callable[[], object]] = {
         "qm_fsm_tables": lambda: bench_qm_fsm_tables(smoke),
@@ -495,6 +578,7 @@ def run_benchmarks(smoke: bool, only: Optional[str] = None) -> Dict[str, object]
         "campaign": lambda: bench_campaign(smoke),
         "cec": lambda: bench_cec(smoke),
         "service_load": lambda: bench_service_load(smoke),
+        "resilience_overhead": lambda: bench_resilience_overhead(smoke),
     }
     if only is not None:
         if only not in builders:
@@ -524,14 +608,14 @@ def main(argv=None) -> int:
         help="CI-sized scenarios (seconds instead of a minute)",
     )
     parser.add_argument(
-        "--output", default="BENCH_PR9.json",
+        "--output", default="BENCH_PR10.json",
         help="destination JSON file (default: %(default)s)",
     )
     parser.add_argument(
         "--only", default=None, metavar="SCENARIO",
         help="run a single scenario (qm_fsm_tables, qm_cover_selection, "
              "fsm_synthesis_effort, opt_pipeline, campaign, cec, "
-             "service_load)",
+             "service_load, resilience_overhead)",
     )
     parser.add_argument(
         "--service-load", action="store_true",
@@ -555,6 +639,15 @@ def main(argv=None) -> int:
         help="exit non-zero unless the load run had zero duplicate "
              "evaluations and matched a serial run",
     )
+    parser.add_argument(
+        "--retry-max", type=int, default=0, metavar="N",
+        help="arm the load-generator clients with an N-retry policy "
+             "(reconnect-and-resume; default: no retries)",
+    )
+    parser.add_argument(
+        "--retry-backoff", type=float, default=0.05, metavar="SECONDS",
+        help="base backoff for --retry-max (default: %(default)s)",
+    )
     args = parser.parse_args(argv)
 
     if args.service_load or args.connect:
@@ -562,11 +655,19 @@ def main(argv=None) -> int:
         if args.connect:
             host, _, port = args.connect.rpartition(":")
             connect = (host, int(port))
+        retry_policy = None
+        if args.retry_max > 0:
+            from repro.resilience.retry import RetryPolicy
+
+            retry_policy = RetryPolicy(
+                max_retries=args.retry_max, base_backoff_s=args.retry_backoff
+            )
         stats = bench_service_load(
             args.smoke,
             clients=args.clients,
             campaigns_per_client=args.campaigns_per_client,
             connect=connect,
+            retry_policy=retry_policy,
         )
         payload = {
             "schema": SCHEMA,
